@@ -1,0 +1,35 @@
+"""Shared machinery of the benchmark harness.
+
+Every bench regenerates one experiment from DESIGN.md §5 and reports a
+claims table (paper claim vs measured verdict).  Tables are printed (visible
+with ``pytest benchmarks/ -s``) *and* appended to ``benchmarks/results.txt``
+so a plain ``--benchmark-only`` run still leaves the evidence on disk;
+EXPERIMENTS.md embeds them.
+"""
+
+import os
+
+import pytest
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def pytest_sessionstart(session):
+    # start each harness run with a fresh results file
+    try:
+        os.remove(RESULTS_PATH)
+    except FileNotFoundError:
+        pass
+
+
+@pytest.fixture
+def report():
+    """Print a rendered table/series and persist it to results.txt."""
+
+    def _report(text: str) -> None:
+        print()
+        print(text)
+        with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n\n")
+
+    return _report

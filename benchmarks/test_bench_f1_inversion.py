@@ -1,0 +1,78 @@
+"""Experiment F1 — Figure 1: the new/old inversion, shown and eliminated.
+
+Regenerates the paper's Figure 1 phenomenon deterministically (exact
+adversarial schedule, see ``repro.experiments.figure1``) on the Figure-2
+regular register, and shows the Figure-3 atomic register absorbing the
+same attack.  Also sweeps seeds for a frequency statistic.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table, verdict
+from repro.checkers.atomicity import find_new_old_inversions
+from repro.experiments.figure1 import run_figure1
+from repro.workloads.scenarios import run_swsr_scenario
+
+
+def test_f1_deterministic_inversion(benchmark, report):
+    result = benchmark.pedantic(lambda: run_figure1("regular"),
+                                rounds=3, iterations=1)
+    atomic = run_figure1("atomic")
+    table = Table("F1  Figure 1: new/old inversion under the exact schedule",
+                  ["register", "read1", "read2", "inverted",
+                   "paper expectation", "verdict"])
+    table.row("regular (Fig 2)", result.first_read, result.second_read,
+              result.inverted, "inversion possible",
+              verdict(result.inverted))
+    table.row("atomic (Fig 3)", atomic.first_read, atomic.second_read,
+              atomic.inverted, "no inversion",
+              verdict(not atomic.inverted))
+    report(table.render())
+    assert result.inverted
+    assert not atomic.inverted
+
+
+def test_f1_frequency_sweep(benchmark, report):
+    """Randomized concurrency: how often do inversions appear per register?
+
+    The regular register *may* invert (nondeterministic); the atomic one
+    must never, across every seed.
+    """
+    seeds = list(range(8))
+
+    def run_pair(seed):
+        regular = run_swsr_scenario(
+            kind="regular", n=9, t=1, seed=seed, num_writes=5, num_reads=5,
+            reader_offset=0.2, byzantine_count=1,
+            byzantine_strategy="flip-flop")
+        atomic = run_swsr_scenario(
+            kind="atomic", n=9, t=1, seed=seed, num_writes=5, num_reads=5,
+            reader_offset=0.2, byzantine_count=1,
+            byzantine_strategy="flip-flop")
+        return regular, atomic
+
+    def sweep():
+        regular_hits = atomic_hits = 0
+        for seed in seeds:
+            regular, atomic = run_pair(seed)
+            if regular.completed and find_new_old_inversions(
+                    regular.history, after=regular.tau_no_tr):
+                regular_hits += 1
+            if atomic.completed and find_new_old_inversions(
+                    atomic.history, after=atomic.tau_no_tr):
+                atomic_hits += 1
+        return regular_hits, atomic_hits
+
+    regular_hits, atomic_hits = benchmark.pedantic(sweep, rounds=1,
+                                                   iterations=1)
+    table = Table("F1b  inversion frequency over randomized runs "
+                  f"({len(seeds)} seeds, flip-flop adversary, overlapping ops)",
+                  ["register", "runs with inversion", "paper expectation",
+                   "verdict"])
+    table.row("regular (Fig 2)", f"{regular_hits}/{len(seeds)}",
+              "inversions allowed", "observed" if regular_hits else
+              "none observed (allowed either way)")
+    table.row("atomic (Fig 3)", f"{atomic_hits}/{len(seeds)}",
+              "never", verdict(atomic_hits == 0))
+    report(table.render())
+    assert atomic_hits == 0

@@ -1,0 +1,75 @@
+"""Experiment P1 — performance characterization: latency & messages vs n.
+
+The paper reports no numbers (theory only); these benches characterize the
+implementation so downstream users can size deployments: simulated
+operation latency, messages per operation, and the construction cost
+ladder (regular -> atomic -> SWMR -> MWMR).
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.workloads.scenarios import run_mwmr_scenario, run_swsr_scenario
+
+
+def _op_latencies(history):
+    return [op.response - op.invoke for op in history]
+
+
+def test_p1a_swsr_scaling_with_n(benchmark, report):
+    def run_all():
+        rows = []
+        for n, t in [(9, 1), (17, 2), (25, 3), (33, 4)]:
+            result = run_swsr_scenario(kind="regular", n=n, t=t,
+                                       seed=500 + n, num_writes=3,
+                                       num_reads=3)
+            ops = len(result.history)
+            rows.append((n, t, result.messages_sent / ops,
+                         sum(_op_latencies(result.history)) / ops))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table("P1a  SWSR regular register: cost vs cluster size",
+                  ["n", "t", "messages/op", "sim latency/op"])
+    for n, t, messages, latency in rows:
+        table.row(n, t, messages, latency)
+    report(table.render())
+    # messages per op must grow roughly linearly in n
+    assert rows[-1][2] > rows[0][2]
+
+
+def test_p1b_construction_ladder(benchmark, report):
+    def run_ladder():
+        regular = run_swsr_scenario(kind="regular", n=9, t=1, seed=501,
+                                    num_writes=3, num_reads=3)
+        atomic = run_swsr_scenario(kind="atomic", n=9, t=1, seed=501,
+                                   num_writes=3, num_reads=3)
+        mwmr = run_mwmr_scenario(m=3, n=9, t=1, seed=501,
+                                 ops_per_process=1)
+        return regular, atomic, mwmr
+
+    regular, atomic, mwmr = benchmark.pedantic(run_ladder, rounds=1,
+                                               iterations=1)
+    table = Table("P1b  construction cost ladder (n=9, t=1, messages/op)",
+                  ["construction", "ops", "messages", "messages/op"])
+    for name, result in [("SWSR regular (Fig 2)", regular),
+                         ("SWSR atomic (Fig 3)", atomic),
+                         ("MWMR (Fig 4)", mwmr)]:
+        ops = len(result.history)
+        table.row(name, ops, result.messages_sent,
+                  result.messages_sent / max(ops, 1))
+    report(table.render())
+    # the MWMR construction is strictly costlier per op than plain SWSR
+    assert mwmr.messages_sent / max(len(mwmr.history), 1) > \
+        regular.messages_sent / max(len(regular.history), 1)
+
+
+def test_p1c_single_write_latency(benchmark):
+    """Raw harness speed: one complete SWSR write+read cycle."""
+
+    def cycle():
+        return run_swsr_scenario(kind="regular", n=9, t=1, seed=502,
+                                 num_writes=1, num_reads=1)
+
+    result = benchmark(cycle)
+    assert result.completed

@@ -1,0 +1,79 @@
+"""Experiment T1 — Theorem 1: stabilizing SWSR regular register, t < n/8.
+
+T1a: liveness + eventual regularity across (n, t) and Byzantine strategies.
+T1b: stabilization after transient corruption of every variable + links.
+T1c: tightness — beyond the bound, liveness is lost under an adversarial
+strategy (quorum arithmetic fails).
+"""
+
+import pytest
+
+from repro.analysis.tables import Table, verdict
+from repro.workloads.scenarios import run_swsr_scenario
+
+SETTINGS = [(9, 1), (17, 2), (25, 3)]
+STRATEGIES = ["silent", "random-garbage", "stale", "equivocate",
+              "inversion-attack"]
+
+
+def test_t1a_claims_matrix(benchmark, report):
+    def run_all():
+        rows = []
+        for n, t in SETTINGS:
+            for strategy in STRATEGIES:
+                result = run_swsr_scenario(
+                    kind="regular", n=n, t=t, seed=100 + n, num_writes=3,
+                    num_reads=3, byzantine_count=t,
+                    byzantine_strategy=strategy)
+                rows.append((n, t, strategy, result.completed,
+                             result.completed and result.report.stable))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table("T1a  Theorem 1 matrix: liveness + eventual regularity "
+                  "(async, t Byzantine of n)",
+                  ["n", "t", "strategy", "terminates", "regular",
+                   "verdict"])
+    for n, t, strategy, terminated, stable in rows:
+        table.row(n, t, strategy, terminated, stable,
+                  verdict(terminated and stable))
+    report(table.render())
+    assert all(terminated and stable for *_ignore, terminated, stable in rows)
+
+
+def test_t1b_stabilization_after_corruption(benchmark, report):
+    def run_one():
+        return run_swsr_scenario(
+            kind="regular", n=9, t=1, seed=7, num_writes=5, num_reads=5,
+            corruption_times=(2.0, 5.0), link_garbage=2, byzantine_count=1)
+
+    result = benchmark.pedantic(run_one, rounds=3, iterations=1)
+    table = Table("T1b  stabilization after total corruption "
+                  "(all vars fuzzed twice + link garbage, n=9, t=1)",
+                  ["tau_no_tr", "tau_1w", "tau_stab", "dirty reads",
+                   "stable", "verdict"])
+    rep = result.report
+    table.row(rep.tau_no_tr, rep.tau_1w, rep.tau_stab,
+              f"{rep.dirty_reads}/{rep.total_reads}", rep.stable,
+              verdict(rep.stable))
+    report(table.render())
+    assert rep.stable
+    assert rep.tau_stab is not None
+
+
+def test_t1c_bound_tightness(benchmark, report):
+    def beyond():
+        return run_swsr_scenario(
+            kind="regular", n=9, t=3, seed=8, enforce_resilience=False,
+            num_writes=1, num_reads=1, byzantine_count=3,
+            byzantine_strategy="equivocate", max_events=120_000)
+
+    result = benchmark.pedantic(beyond, rounds=1, iterations=1)
+    table = Table("T1c  beyond the bound: t = 3 of n = 9 (t >= n/8)",
+                  ["n", "t", "outcome", "paper expectation", "verdict"])
+    outcome = "terminates" if result.completed else \
+        "liveness lost (reads starve)"
+    table.row(9, 3, outcome, "no guarantee beyond t < n/8",
+              verdict(not result.completed, ok="FAILS AS EXPECTED"))
+    report(table.render())
+    assert not result.completed

@@ -1,0 +1,98 @@
+"""Experiment T3 — Theorem 3: practically stabilizing SWSR atomic register.
+
+T3a: eventual atomicity (no inversions) under corruption + adversaries.
+T3b: the *practically* caveat (Lemma 13): with a tiny wsn modulus, pushing
+more than system-life-span writes between two reads re-enables staleness.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table, verdict
+from repro.checkers.atomicity import find_new_old_inversions
+from repro.registers.bounded_seq import WsnConfig
+from repro.registers.system import Cluster, ClusterConfig, build_swsr_atomic
+from repro.workloads.scenarios import run_swsr_scenario
+
+ADVERSARIES = ["inversion-attack", "flip-flop", "stale", "random-garbage"]
+
+
+def test_t3a_no_inversions_matrix(benchmark, report):
+    def run_all():
+        rows = []
+        for strategy in ADVERSARIES:
+            result = run_swsr_scenario(
+                kind="atomic", n=9, t=1, seed=300, num_writes=5,
+                num_reads=5, reader_offset=0.2,
+                corruption_times=(2.0,), byzantine_count=1,
+                byzantine_strategy=strategy)
+            inversions = find_new_old_inversions(result.history,
+                                                 after=result.tau_no_tr)
+            rows.append((strategy, result.completed,
+                         result.report.stable if result.report else False,
+                         len(inversions)))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table("T3a  Theorem 3: eventual atomicity (n=9, t=1, "
+                  "corruption at t=2.0, overlapping ops)",
+                  ["adversary", "terminates", "atomic", "inversions",
+                   "verdict"])
+    for strategy, terminated, stable, inversions in rows:
+        table.row(strategy, terminated, stable, inversions,
+                  verdict(terminated and stable and inversions == 0))
+    report(table.render())
+    assert all(r[1] and r[2] and r[3] == 0 for r in rows)
+
+
+def test_t3b_system_life_span_caveat(benchmark, report):
+    """Lemma 13's bound is real: exceed it and the reader serves stale data."""
+
+    def run_wraparound():
+        cluster = Cluster(ClusterConfig(n=9, t=1, seed=301))
+        writer, reader = build_swsr_atomic(cluster, initial="v_init",
+                                           config=WsnConfig(7))
+        outcomes = {}
+        cluster.run_ops([writer.write("early")])
+        cluster.run_ops([reader.read()])
+        # within the life span (< 7//2 writes): fine
+        cluster.run_ops([writer.write("mid")])
+        handle = reader.read()
+        cluster.run_ops([handle])
+        outcomes["within"] = handle.result
+        # exceed the life span: 4 > 7//2 writes between reads
+        for index in range(4):
+            cluster.run_ops([writer.write(f"burst{index}")])
+        handle = reader.read()
+        cluster.run_ops([handle])
+        outcomes["beyond"] = handle.result
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_wraparound, rounds=2, iterations=1)
+    table = Table("T3b  system-life-span caveat (wsn modulus = 7, "
+                  "life span = 4 writes)",
+                  ["writes between reads", "read returned",
+                   "paper expectation", "verdict"])
+    table.row("1 (within)", outcomes["within"], "latest value",
+              verdict(outcomes["within"] == "mid"))
+    table.row("4 (beyond)", outcomes["beyond"],
+              "staleness possible (practically stabilizing only)",
+              verdict(outcomes["beyond"] != "burst3",
+                      ok="STALE AS PREDICTED", bad="unexpectedly fresh"))
+    report(table.render())
+    assert outcomes["within"] == "mid"
+    assert outcomes["beyond"] != "burst3"
+
+
+def test_t3c_default_modulus_equals_paper(benchmark, report):
+    """With the paper's 2^64+1 modulus, bursts never hit the caveat."""
+
+    def run_default():
+        return run_swsr_scenario(kind="atomic", n=9, t=1, seed=302,
+                                 num_writes=8, num_reads=2, op_gap=4.0)
+
+    result = benchmark.pedantic(run_default, rounds=2, iterations=1)
+    table = Table("T3c  default modulus 2^64 + 1: no wrap-around in practice",
+                  ["writes", "reads", "atomic", "verdict"])
+    table.row(8, 2, result.report.stable, verdict(result.report.stable))
+    report(table.render())
+    assert result.report.stable

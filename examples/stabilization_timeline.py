@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Watching a system stabilize: the τ timeline, measured.
+
+Runs the regular register through the paper's full failure lifecycle —
+transient corruption bursts (the last one is τ_no_tr), then the first
+write (ending at τ_1w), then reads — and *measures* τ_stab with the
+consistency checkers: the earliest instant from which every later read is
+regular.
+
+Run:  python examples/stabilization_timeline.py
+"""
+
+from repro.workloads.scenarios import run_swsr_scenario
+
+
+def main() -> None:
+    print(__doc__)
+    result = run_swsr_scenario(
+        kind="regular", n=9, t=1, seed=4,
+        num_writes=5, num_reads=5,
+        corruption_times=(2.0, 4.0, 6.0),   # transient bursts; last = tau_no_tr
+        corruption_fraction=1.0,
+        link_garbage=2,
+        byzantine_count=1,
+        byzantine_strategy="stale")
+
+    report = result.report
+    print("execution history (chronological):")
+    print(result.history.format())
+    print()
+    print("τ timeline:")
+    print(f"  τ_no_tr (last transient failure)  = {report.tau_no_tr:7.3f}")
+    print(f"  τ_1w    (first write completes)   = {report.tau_1w:7.3f}")
+    print(f"  τ_stab  (measured stabilization)  = {report.tau_stab:7.3f}")
+    print(f"  stabilization time                = "
+          f"{report.stabilization_time:7.3f}")
+    print(f"  dirty reads before τ_stab         = "
+          f"{report.dirty_reads}/{report.total_reads}")
+    print()
+    if report.stable:
+        print("Lemma 3 verified on this execution: every read invoked after "
+              "τ_stab returned the last or a concurrent write's value.")
+    else:
+        print("execution did not stabilize (should not happen within the "
+              "resilience bound!)")
+
+
+if __name__ == "__main__":
+    main()

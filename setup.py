@@ -1,0 +1,15 @@
+"""Legacy entry point so ``pip install -e . --no-use-pep517`` works on
+
+environments whose setuptools lacks ``bdist_wheel`` (offline images).
+Package metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,46 @@
+"""repro — Stabilizing Byzantine server-based storage (PODC 2015).
+
+A complete reproduction of *"Stabilizing Server-Based Storage in Byzantine
+Asynchronous Message-Passing Systems"* (Bonomi, Dolev, Potop-Butucaru,
+Raynal): the four register constructions of the paper, the ss-broadcast /
+data-link substrate they rely on, a deterministic simulator implementing
+the paper's system model, transient + Byzantine fault injection, and
+consistency checkers that *measure* stabilization.
+
+Quickstart::
+
+    from repro import Cluster, ClusterConfig, build_swsr_atomic
+
+    cluster = Cluster(ClusterConfig(n=9, t=1, seed=1))
+    writer, reader = build_swsr_atomic(cluster)
+    handle = writer.write("hello")
+    cluster.run_ops([handle])
+    handle = reader.read()
+    cluster.run_ops([handle])
+    print(handle.result)   # -> "hello"
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .checkers import (History, Operation, check_atomic_swsr,
+                       check_linearizable, check_regularity,
+                       find_new_old_inversions, find_tau_stab, is_atomic_swsr,
+                       is_regular, stabilization_report)
+from .registers import (BOT, Cluster, ClusterConfig, Epoch, EpochLabeling,
+                        MWMRRegister, QuorumParams, SWMRRegister, WsnConfig,
+                        build_mwmr, build_swmr, build_swsr_atomic,
+                        build_swsr_regular)
+from .workloads import (ScenarioResult, run_mwmr_scenario, run_swsr_scenario)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOT", "Cluster", "ClusterConfig", "Epoch", "EpochLabeling", "History",
+    "MWMRRegister", "Operation", "QuorumParams", "SWMRRegister",
+    "ScenarioResult", "WsnConfig", "__version__", "build_mwmr", "build_swmr",
+    "build_swsr_atomic", "build_swsr_regular", "check_atomic_swsr",
+    "check_linearizable", "check_regularity", "find_new_old_inversions",
+    "find_tau_stab", "is_atomic_swsr", "is_regular", "run_mwmr_scenario",
+    "run_swsr_scenario", "stabilization_report",
+]

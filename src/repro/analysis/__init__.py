@@ -1,0 +1,6 @@
+"""Result reporting helpers used by the benchmark harness."""
+
+from .summary import Stats, rate, summarize
+from .tables import Table, series, verdict
+
+__all__ = ["Stats", "Table", "rate", "series", "summarize", "verdict"]

@@ -1,0 +1,43 @@
+"""Aggregate statistics over repeated experiment runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Summary statistics of one measured quantity."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    def __repr__(self) -> str:
+        return (f"Stats(n={self.count}, mean={self.mean:.3f} "
+                f"± {self.stdev:.3f}, range=[{self.minimum:.3f}, "
+                f"{self.maximum:.3f}])")
+
+
+def summarize(values: Sequence[float]) -> Optional[Stats]:
+    """Mean/stdev/min/max of a sample (``None`` for an empty one)."""
+    data = [float(value) for value in values]
+    if not data:
+        return None
+    mean = sum(data) / len(data)
+    if len(data) > 1:
+        variance = sum((value - mean) ** 2 for value in data) / (len(data) - 1)
+        stdev = math.sqrt(variance)
+    else:
+        stdev = 0.0
+    return Stats(count=len(data), mean=mean, stdev=stdev,
+                 minimum=min(data), maximum=max(data))
+
+
+def rate(hits: int, total: int) -> float:
+    """A safe ratio (0.0 when the denominator is zero)."""
+    return hits / total if total else 0.0

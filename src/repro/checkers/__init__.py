@@ -1,0 +1,18 @@
+"""Consistency checkers over operation histories."""
+
+from .atomicity import (LinearizabilityResult, NewOldInversion,
+                        check_atomic_swsr, check_linearizable,
+                        find_new_old_inversions, is_atomic_swsr)
+from .history import History, Operation
+from .regularity import (NO_INITIAL, RegularityViolation, allowed_values,
+                         check_regularity, is_regular)
+from .stabilization import (StabilizationReport, find_tau_stab,
+                            stabilization_report)
+
+__all__ = [
+    "History", "LinearizabilityResult", "NO_INITIAL", "NewOldInversion",
+    "Operation", "RegularityViolation", "StabilizationReport",
+    "allowed_values", "check_atomic_swsr", "check_linearizable",
+    "check_regularity", "find_new_old_inversions", "find_tau_stab",
+    "is_atomic_swsr", "is_regular", "stabilization_report",
+]

@@ -1,0 +1,125 @@
+"""Operation histories: the input of the consistency checkers.
+
+A history is the list of completed operations with their real-time
+invocation/response intervals — exactly the object over which the paper's
+regularity/atomicity definitions (Section 2.2) are stated.  Histories are
+built from the :class:`~repro.sim.process.OperationHandle` objects the
+register facades return (their ``meta`` carries kind/value/register).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass
+class Operation:
+    """One completed register operation."""
+
+    kind: str                  # "write" | "read"
+    process: str
+    value: Any                 # written value, or value returned by the read
+    invoke: float
+    response: float
+    register: str = "reg"
+    op_id: int = 0
+
+    def precedes(self, other: "Operation") -> bool:
+        """Real-time precedence: this op responded before ``other`` started."""
+        return self.response < other.invoke
+
+    def overlaps(self, other: "Operation") -> bool:
+        """Concurrent in the paper's sense (the intervals intersect)."""
+        return not (self.precedes(other) or other.precedes(self))
+
+    def __repr__(self) -> str:
+        return (f"{self.kind}({self.value!r}) @{self.process} "
+                f"[{self.invoke:.3f}, {self.response:.3f}]")
+
+
+class History:
+    """An append-only collection of completed operations."""
+
+    def __init__(self, ops: Optional[Iterable[Operation]] = None):
+        self.ops: List[Operation] = []
+        if ops:
+            for op in ops:
+                self.append(op)
+
+    def append(self, op: Operation) -> Operation:
+        op.op_id = len(self.ops)
+        self.ops.append(op)
+        return op
+
+    def add(self, kind: str, process: str, value: Any, invoke: float,
+            response: float, register: str = "reg") -> Operation:
+        """Convenience constructor for hand-built histories (checker tests)."""
+        return self.append(Operation(kind, process, value, invoke, response,
+                                     register))
+
+    def add_handle(self, handle) -> Optional[Operation]:
+        """Record a completed operation handle (skips unfinished ones)."""
+        if not handle.done:
+            return None
+        meta = handle.meta
+        kind = meta.get("kind")
+        if kind not in ("write", "read"):
+            return None
+        value = meta.get("value") if kind == "write" else handle.result
+        return self.append(Operation(
+            kind=kind, process=handle.process_id, value=value,
+            invoke=handle.invoke_time, response=handle.response_time,
+            register=meta.get("register", "reg")))
+
+    @classmethod
+    def from_handles(cls, handles: Iterable) -> "History":
+        history = cls()
+        for handle in handles:
+            history.add_handle(handle)
+        return history
+
+    # -- queries -----------------------------------------------------------
+    def writes(self, register: Optional[str] = None) -> List[Operation]:
+        """Writes ordered by invocation time."""
+        selected = [op for op in self.ops if op.kind == "write"
+                    and (register is None or op.register == register)]
+        return sorted(selected, key=lambda op: op.invoke)
+
+    def reads(self, register: Optional[str] = None) -> List[Operation]:
+        """Reads ordered by invocation time."""
+        selected = [op for op in self.ops if op.kind == "read"
+                    and (register is None or op.register == register)]
+        return sorted(selected, key=lambda op: op.invoke)
+
+    def registers(self) -> List[str]:
+        return sorted({op.register for op in self.ops})
+
+    def writers(self, register: Optional[str] = None) -> List[str]:
+        return sorted({op.process for op in self.writes(register)})
+
+    def value_to_write(self, register: Optional[str] = None
+                       ) -> Dict[Any, Operation]:
+        """Map each written value to its write; raises on duplicates.
+
+        Unique written values are what make register histories efficiently
+        checkable; the workload generators guarantee them.
+        """
+        mapping: Dict[Any, Operation] = {}
+        for write in self.writes(register):
+            if write.value in mapping:
+                raise ValueError(
+                    f"written value {write.value!r} is not unique")
+            mapping[write.value] = write
+        return mapping
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def format(self) -> str:
+        """Chronological, human-readable rendering."""
+        ordered = sorted(self.ops, key=lambda op: (op.invoke, op.response))
+        return "\n".join(repr(op) for op in ordered)

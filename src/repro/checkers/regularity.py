@@ -1,0 +1,95 @@
+"""Regular-register semantics checker (Section 2.2 / Lemma 3).
+
+*Eventual regularity*: after τ_stab every read returns a value written by
+(a) the last write executed before the read, or (b) a write concurrent
+with the read.  The checker evaluates exactly that condition on each read
+invoked after a caller-supplied cut-off time, which is how τ_stab is
+*measured* (see :mod:`repro.checkers.stabilization`).
+
+The checker targets single-writer histories (writes totally ordered by
+real time); MWMR histories are checked by the linearizability machinery in
+:mod:`repro.checkers.atomicity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Set
+
+from .history import History, Operation
+
+
+class _NoInitial:
+    """Sentinel: reads before the first write are unconstrained."""
+
+    def __repr__(self) -> str:
+        return "NO_INITIAL"
+
+
+NO_INITIAL = _NoInitial()
+
+
+@dataclass
+class RegularityViolation:
+    """A read that returned neither the last preceding nor a concurrent value."""
+
+    read: Operation
+    returned: Any
+    allowed: Set[Any]
+
+    def __repr__(self) -> str:
+        return (f"RegularityViolation({self.read!r} returned "
+                f"{self.returned!r}, allowed {sorted(map(repr, self.allowed))})")
+
+
+def allowed_values(history: History, read: Operation,
+                   register: Optional[str] = None,
+                   initial: Any = NO_INITIAL) -> Optional[Set[Any]]:
+    """The set of regular return values for ``read``.
+
+    Returns ``None`` when the read is unconstrained (no preceding or
+    concurrent write and no initial value was supplied).
+    """
+    writes = history.writes(register if register is not None
+                            else read.register)
+    preceding = [w for w in writes if w.precedes(read)]
+    concurrent = [w for w in writes if w.overlaps(read)]
+    allowed: Set[Any] = {w.value for w in concurrent}
+    if preceding:
+        last = max(preceding, key=lambda w: w.invoke)
+        allowed.add(last.value)
+    elif initial is not NO_INITIAL:
+        allowed.add(initial)
+    if not allowed:
+        return None
+    return allowed
+
+
+def check_regularity(history: History, after: float = 0.0,
+                     register: Optional[str] = None,
+                     initial: Any = NO_INITIAL) -> List[RegularityViolation]:
+    """All regularity violations among reads *invoked* at or after ``after``.
+
+    Requires a single-writer history (raises otherwise).
+    """
+    writers = history.writers(register)
+    if len(writers) > 1:
+        raise ValueError(
+            f"regularity checker needs a single writer, got {writers}")
+    violations = []
+    for read in history.reads(register):
+        if read.invoke < after:
+            continue
+        allowed = allowed_values(history, read, register, initial)
+        if allowed is None:
+            continue  # unconstrained (pre-first-write, no initial known)
+        if read.value not in allowed:
+            violations.append(RegularityViolation(read, read.value, allowed))
+    return violations
+
+
+def is_regular(history: History, after: float = 0.0,
+               register: Optional[str] = None,
+               initial: Any = NO_INITIAL) -> bool:
+    """Predicate form of :func:`check_regularity`."""
+    return not check_regularity(history, after, register, initial)

@@ -1,0 +1,111 @@
+"""Measuring τ_stab: when does an execution become (and stay) correct?
+
+The paper's guarantees are *eventual*: there exists a finite τ_stab > τ_1w
+after which every read is regular (Lemma 3) / atomic (Lemma 13).  Given a
+deterministic execution and its history, we compute the earliest suffix
+from which the chosen consistency condition holds — that suffix's start is
+the measured stabilization instant, and ``τ_stab − τ_no_tr`` the measured
+stabilization time (the quantity experiment P2 sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from .atomicity import check_atomic_swsr, find_new_old_inversions
+from .history import History, Operation
+from .regularity import NO_INITIAL, check_regularity
+
+
+@dataclass
+class StabilizationReport:
+    """The τ-timeline of one execution."""
+
+    mode: str                      # "regular" | "atomic"
+    tau_no_tr: float               # last transient failure (from the fault plan)
+    tau_1w: Optional[float]        # end of the first write after tau_no_tr
+    tau_stab: Optional[float]      # measured stabilization instant
+    total_reads: int
+    dirty_reads: int               # reads before tau_stab that violate
+    stable: bool                   # condition holds from tau_stab onwards
+
+    @property
+    def stabilization_time(self) -> Optional[float]:
+        if self.tau_stab is None:
+            return None
+        return max(0.0, self.tau_stab - self.tau_no_tr)
+
+    def __repr__(self) -> str:
+        return (f"StabilizationReport(mode={self.mode}, "
+                f"tau_no_tr={self.tau_no_tr:.3f}, tau_1w={self.tau_1w}, "
+                f"tau_stab={self.tau_stab}, dirty={self.dirty_reads}/"
+                f"{self.total_reads}, stable={self.stable})")
+
+
+def _violating_read_ids(history: History, mode: str, register: Optional[str],
+                        initial: Any) -> set:
+    """Op ids of reads violating the condition when checked from time 0."""
+    bad = set()
+    if mode == "regular":
+        for violation in check_regularity(history, 0.0, register, initial):
+            bad.add(violation.read.op_id)
+    elif mode == "atomic":
+        violations, inversions = check_atomic_swsr(history, 0.0, register,
+                                                   initial)
+        for violation in violations:
+            bad.add(violation.read.op_id)
+        for inversion in inversions:
+            # the *later* read exposes the inversion
+            bad.add(inversion.second.op_id)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return bad
+
+
+def find_tau_stab(history: History, mode: str = "regular",
+                  register: Optional[str] = None,
+                  initial: Any = NO_INITIAL,
+                  tau_no_tr: float = 0.0) -> Optional[float]:
+    """Earliest instant from which all later-invoked reads satisfy ``mode``.
+
+    Scans read invocation times as candidate cut-offs.  Returns ``None``
+    when even the last read violates (the execution never stabilized —
+    e.g. a resilience-bound violation).
+    """
+    reads = [read for read in history.reads(register)]
+    if not reads:
+        return tau_no_tr
+    candidates = [tau_no_tr] + [read.invoke for read in reads]
+    for cut in candidates:
+        if mode == "regular":
+            ok = not check_regularity(history, cut, register, initial)
+        else:
+            violations, inversions = check_atomic_swsr(history, cut, register,
+                                                       initial)
+            ok = not violations and not inversions
+        if ok:
+            return max(cut, tau_no_tr)
+    return None
+
+
+def stabilization_report(history: History, mode: str = "regular",
+                         register: Optional[str] = None,
+                         initial: Any = NO_INITIAL,
+                         tau_no_tr: float = 0.0) -> StabilizationReport:
+    """Full τ-timeline of an execution (see :class:`StabilizationReport`)."""
+    writes_after = [write for write in history.writes(register)
+                    if write.invoke >= tau_no_tr]
+    tau_1w = writes_after[0].response if writes_after else None
+    tau_stab = find_tau_stab(history, mode, register, initial, tau_no_tr)
+    dirty = _violating_read_ids(history, mode, register, initial)
+    reads = history.reads(register)
+    return StabilizationReport(
+        mode=mode,
+        tau_no_tr=tau_no_tr,
+        tau_1w=tau_1w,
+        tau_stab=tau_stab,
+        total_reads=len(reads),
+        dirty_reads=len(dirty),
+        stable=tau_stab is not None,
+    )

@@ -1,0 +1,21 @@
+"""Failure models: transient corruption and Byzantine server strategies."""
+
+from .byzantine import (ByzantineStrategy, CollusionCoordinator,
+                        CrashStrategy, EquivocateStrategy,
+                        FabricatedQuorumStrategy, FlipFlopStrategy,
+                        InversionAttackStrategy, MobileByzantineController,
+                        RandomGarbageStrategy, STRATEGY_FACTORIES,
+                        SilentStrategy, StaleReplyStrategy, strategy_factory)
+from .schedule import FaultAction, FaultPlan, transient_burst_plan
+from .transient import (TransientFaultInjector, garbage_message,
+                        garbage_value)
+
+__all__ = [
+    "ByzantineStrategy", "CollusionCoordinator", "CrashStrategy",
+    "EquivocateStrategy", "FabricatedQuorumStrategy", "FaultAction",
+    "FaultPlan", "FlipFlopStrategy", "InversionAttackStrategy",
+    "MobileByzantineController",
+    "RandomGarbageStrategy", "STRATEGY_FACTORIES", "SilentStrategy",
+    "StaleReplyStrategy", "TransientFaultInjector", "garbage_message",
+    "garbage_value", "strategy_factory", "transient_burst_plan",
+]

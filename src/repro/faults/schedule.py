@@ -1,0 +1,66 @@
+"""Declarative fault plans: what gets corrupted, when.
+
+A :class:`FaultPlan` bundles the τ-timeline of an experiment: transient
+bursts before ``tau_no_tr`` and nothing after, matching the paper's
+assumption that transient failures stop at a finite (unknown to the
+processes) time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from .transient import TransientFaultInjector
+
+
+@dataclass
+class FaultAction:
+    """One scheduled injection."""
+
+    time: float
+    action: Callable[[], None]
+    label: str = "fault"
+
+
+@dataclass
+class FaultPlan:
+    """An ordered list of fault actions with a declared τ_no_tr."""
+
+    actions: List[FaultAction] = field(default_factory=list)
+    tau_no_tr: float = 0.0
+
+    def add(self, time: float, action: Callable[[], None],
+            label: str = "fault") -> "FaultPlan":
+        self.actions.append(FaultAction(time, action, label))
+        self.tau_no_tr = max(self.tau_no_tr, time)
+        return self
+
+    def apply(self, scheduler) -> None:
+        """Schedule every action on the cluster's scheduler."""
+        for entry in self.actions:
+            scheduler.schedule_at(entry.time, entry.action, label=entry.label)
+
+
+def transient_burst_plan(injector: TransientFaultInjector, processes,
+                         times: Sequence[float], fraction: float = 1.0,
+                         link_garbage: Optional[dict] = None) -> FaultPlan:
+    """Bursts of state corruption (plus optional link garbage) at ``times``.
+
+    ``link_garbage``, if given, maps ``(src, dst)`` pairs to message counts
+    preloaded at the *first* burst (arbitrary initial link state).
+    """
+    plan = FaultPlan()
+    process_list = list(processes)
+    for time in times:
+        plan.add(time,
+                 lambda procs=process_list: injector.corrupt_all(procs, fraction),
+                 label="transient-burst")
+    if link_garbage and times:
+        first = min(times)
+        for (src, dst), count in link_garbage.items():
+            plan.add(first,
+                     lambda s=src, d=dst, c=count:
+                     injector.preload_link_garbage(s, d, c),
+                     label="link-garbage")
+    return plan

@@ -1,0 +1,145 @@
+"""Transient-failure injection (Section 2.1).
+
+*"The local variables of any process (writer, reader, servers) can suffer
+transient failures.  This means that their values can be arbitrarily
+modified.  It is nevertheless assumed that there is a finite time τ_no_tr
+after which there are no more transient failures."*
+
+The injector overwrites exactly the variables processes registered as
+corruptible (a domain-respecting arbitrary value each — the standard
+self-stabilization convention that a variable always holds *some* value of
+its type), and places arbitrary garbage messages on links (the arbitrary
+initial link state of the configuration definition).
+
+Everything is driven by the cluster's named randomness, so a corruption
+burst is part of the reproducible execution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, List, Optional
+
+from ..datalink.packets import SSConfirm, SSMsg, SSReply
+from ..registers.messages import BOT, AckRead, AckWrite, NewHelpVal, Read, Write
+from ..sim.process import Process
+from ..sim.trace import FAULT
+
+
+def garbage_value(rng: random.Random) -> Any:
+    """An arbitrary value for message fields."""
+    roll = rng.random()
+    if roll < 0.2:
+        return BOT
+    if roll < 0.4:
+        return rng.randrange(1_000_000)
+    return f"garbage#{rng.randrange(1_000_000)}"
+
+
+def garbage_message(rng: random.Random, reg_id: str = "reg") -> Any:
+    """An arbitrary protocol-shaped message for link preloading."""
+    phase = rng.randrange(1, 50)
+    kind = rng.randrange(5)
+    if kind == 0:
+        return SSReply(phase, AckRead(reg_id, garbage_value(rng),
+                                      garbage_value(rng)))
+    if kind == 1:
+        return SSReply(phase, AckWrite(reg_id, garbage_value(rng)))
+    if kind == 2:
+        return SSMsg(phase, f"ghost{rng.randrange(100)}",
+                     Write(reg_id, garbage_value(rng)))
+    if kind == 3:
+        return SSMsg(phase, f"ghost{rng.randrange(100)}",
+                     Read(reg_id, bool(rng.randrange(2))))
+    return SSConfirm(phase)
+
+
+class TransientFaultInjector:
+    """Corrupts registered process state and link contents.
+
+    Construct it from a cluster::
+
+        injector = TransientFaultInjector.for_cluster(cluster)
+        injector.corrupt_all(cluster.servers)           # now
+        injector.at(5.0, lambda: injector.corrupt_process(reader))
+    """
+
+    def __init__(self, rng: random.Random, trace, scheduler, network=None):
+        self.rng = rng
+        self.trace = trace
+        self.scheduler = scheduler
+        self.network = network
+        self.corruptions = 0
+
+    @classmethod
+    def for_cluster(cls, cluster) -> "TransientFaultInjector":
+        return cls(cluster.randomness.stream("transient"), cluster.trace,
+                   cluster.scheduler, cluster.network)
+
+    # -- state corruption -----------------------------------------------------
+    def corrupt_var(self, process: Process, name: str) -> Any:
+        """Overwrite one registered variable with an arbitrary value."""
+        var = process.corruptible[name]
+        value = var.fuzz(self.rng)
+        var.setter(value)
+        self.corruptions += 1
+        self.trace.emit(self.scheduler.now, FAULT, process.pid,
+                        var=name, value=value)
+        return value
+
+    def corrupt_process(self, process: Process, fraction: float = 1.0,
+                        prefix: Optional[str] = None) -> List[str]:
+        """Corrupt (a sampled subset of) a process's corruptible variables.
+
+        ``prefix`` restricts corruption to variables of one register
+        instance (their names are ``<reg_id>.<var>``).
+        """
+        corrupted = []
+        for name in sorted(process.corruptible):
+            if prefix is not None and not name.startswith(prefix):
+                continue
+            if self.rng.random() <= fraction:
+                self.corrupt_var(process, name)
+                corrupted.append(name)
+        return corrupted
+
+    def corrupt_all(self, processes: Iterable[Process],
+                    fraction: float = 1.0) -> int:
+        """Corrupt many processes at once; returns variables touched."""
+        touched = 0
+        for process in processes:
+            touched += len(self.corrupt_process(process, fraction))
+        return touched
+
+    # -- link corruption ---------------------------------------------------------
+    def preload_link_garbage(self, src: str, dst: str, count: int = 2,
+                             reg_id: str = "reg") -> None:
+        """Place ``count`` arbitrary messages on the link ``src -> dst``."""
+        if self.network is None:
+            raise ValueError("injector built without a network")
+        messages = [garbage_message(self.rng, reg_id) for _ in range(count)]
+        self.network.preload(src, dst, messages)
+        self.trace.emit(self.scheduler.now, FAULT, src,
+                        link=f"{src}->{dst}", garbage=count)
+
+    def garbage_everywhere(self, client_pids: Iterable[str],
+                           server_pids: Iterable[str], per_link: int = 1,
+                           reg_id: str = "reg") -> None:
+        """Garbage on every client<->server link (arbitrary initial state)."""
+        servers = list(server_pids)
+        for client in client_pids:
+            for server in servers:
+                self.preload_link_garbage(client, server, per_link, reg_id)
+                self.preload_link_garbage(server, client, per_link, reg_id)
+
+    # -- scheduling -------------------------------------------------------------
+    def at(self, time: float, action) -> None:
+        """Run an injection action at an absolute virtual time."""
+        self.scheduler.schedule_at(time, action, label="fault")
+
+    def burst(self, times: Iterable[float], processes: List[Process],
+              fraction: float = 1.0) -> None:
+        """Schedule corruption bursts; the last burst time is τ_no_tr."""
+        for time in times:
+            self.at(time, lambda processes=list(processes):
+                    self.corrupt_all(processes, fraction))

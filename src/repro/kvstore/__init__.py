@@ -1,0 +1,5 @@
+"""Byzantine fault-tolerant, self-stabilizing key-value store facade."""
+
+from .store import StabilizingKVStore, build_kv_store
+
+__all__ = ["StabilizingKVStore", "build_kv_store"]

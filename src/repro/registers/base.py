@@ -1,0 +1,252 @@
+"""Shared infrastructure of the register constructions.
+
+* :class:`QuorumParams` — the ``n``/``t`` arithmetic of the paper, with the
+  resilience checks (``n >= 8t + 1`` asynchronous, ``n >= 3t + 1``
+  synchronous).
+* :class:`ServerProcess` — hosts one or more server automatons (so SWMR
+  per-reader copies and the KV store share server processes), dispatches
+  ss-delivered payloads, and supports Byzantine strategy override and
+  transient corruption.
+* :class:`RegisterClientProcess` — client base: ss-broadcast coroutine
+  helper plus phase-correlated reply collection.
+* quorum-counting helpers used by the reader/writer predicates
+  (lines 03, 12, 14).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..datalink.packets import SSReply
+from ..datalink.ss_broadcast import (ClientTransport, DirectServerTransport)
+from ..sim.process import Predicate, Process, WaitCondition
+from ..sim.scheduler import Scheduler
+from ..sim.trace import NOTE, Trace
+from .messages import BOT
+
+
+@dataclass(frozen=True)
+class QuorumParams:
+    """The ``(n, t)`` arithmetic of the constructions.
+
+    Asynchronous (Figures 2/3): requires ``n >= 8t + 1``; the writer checks
+    for ``4t + 1`` equal helping values (line 03), clients wait for ``n - t``
+    acknowledgements, the reader needs ``2t + 1`` equal values (lines 12/14).
+
+    Synchronous (Figure 5): requires ``n >= 3t + 1``; clients wait for all
+    ``n`` servers or a timeout, thresholds drop to ``t + 1`` and the writer
+    check to ``t + 1`` (lines 02.M/03.M/12.M/14.M).
+    """
+
+    n: int
+    t: int
+    synchronous: bool = False
+    #: known upper bound on message transfer delays (synchronous model only);
+    #: clients derive their round-trip timeouts from it (Appendix A).
+    delay_bound: Optional[float] = None
+
+    def __post_init__(self):
+        if self.t < 0 or self.n < 1:
+            raise ValueError(f"invalid (n={self.n}, t={self.t})")
+
+    @property
+    def satisfies_resilience(self) -> bool:
+        if self.synchronous:
+            return self.n >= 3 * self.t + 1
+        return self.n >= 8 * self.t + 1
+
+    def require_resilience(self) -> None:
+        if not self.satisfies_resilience:
+            bound = "3t + 1" if self.synchronous else "8t + 1"
+            raise ValueError(
+                f"n={self.n}, t={self.t} violates n >= {bound}; pass "
+                f"enforce_resilience=False to experiment beyond the bound")
+
+    @property
+    def ack_quorum(self) -> int:
+        """How many acknowledgements a client waits for (line 02 / 11)."""
+        return self.n if self.synchronous else self.n - self.t
+
+    @property
+    def value_quorum(self) -> int:
+        """Equal values needed to return from a read (lines 12 / 14)."""
+        return self.t + 1 if self.synchronous else 2 * self.t + 1
+
+    @property
+    def help_quorum(self) -> int:
+        """Equal helping values sparing a NEW_HELP_VAL broadcast (line 03)."""
+        return self.t + 1 if self.synchronous else 4 * self.t + 1
+
+    @property
+    def sync_quorum(self) -> int:
+        """Correct servers guaranteed to ss-deliver within the invocation."""
+        return self.n - 2 * self.t
+
+
+# ----------------------------------------------------------------------
+# quorum counting helpers
+# ----------------------------------------------------------------------
+def _count_key(value: Any) -> Any:
+    """A hashable stand-in for ``value`` in quorum counts.
+
+    Register values are application data and may be unhashable (dicts,
+    lists); equality-by-repr is the right notion for "same value" here
+    because correct servers echo exactly what the writer broadcast.
+    """
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return ("__unhashable__", type(value).__name__, repr(value))
+
+
+def value_with_quorum(values: List[Any], quorum: int,
+                      exclude_bot: bool = False) -> Optional[Any]:
+    """Return a value occurring at least ``quorum`` times, else ``None``.
+
+    With ``exclude_bot`` the ⊥ marker is not a candidate (the helping-value
+    predicates of lines 03/14 require ``w != ⊥``).
+    """
+    representatives = {}
+    counter = Counter()
+    for value in values:
+        key = _count_key(value)
+        representatives.setdefault(key, value)
+        counter[key] += 1
+    for key, count in counter.most_common():
+        if count < quorum:
+            break
+        value = representatives[key]
+        if exclude_bot and value is BOT:
+            continue
+        return value
+    return None
+
+
+def first_k(replies: Dict[str, Any], k: int) -> List[Tuple[str, Any]]:
+    """The first ``k`` replies in arrival order (dict preserves insertion)."""
+    items = list(replies.items())
+    return items[:k]
+
+
+# ----------------------------------------------------------------------
+# server side
+# ----------------------------------------------------------------------
+class ServerAutomaton:
+    """Base class of per-register server state machines.
+
+    Handlers receive the client id, the ss-delivered payload and the
+    substrate phase token, and answer through ``self.server.reply``.
+    """
+
+    def __init__(self, server: "ServerProcess", reg_id: str):
+        self.server = server
+        self.reg_id = reg_id
+
+    def on_deliver(self, client: str, payload: Any, phase: int) -> None:
+        raise NotImplementedError
+
+
+class ServerProcess(Process):
+    """A storage server: hosts register automatons, may turn Byzantine.
+
+    ``strategy`` is ``None`` while the server is correct; a Byzantine
+    strategy object (``repro.faults.byzantine``) otherwise.  Mobile
+    Byzantine failures (footnote 1) are modelled by swapping the strategy
+    at runtime.
+    """
+
+    def __init__(self, pid: str, scheduler: Scheduler, trace: Trace):
+        super().__init__(pid, scheduler, trace)
+        self.automatons: Dict[str, ServerAutomaton] = {}
+        self.strategy = None
+        self.confirm_enabled = True
+        self.transport = DirectServerTransport(self)
+        self.deliveries = 0
+
+    def add_automaton(self, automaton: ServerAutomaton) -> ServerAutomaton:
+        self.automatons[automaton.reg_id] = automaton
+        return automaton
+
+    def on_message(self, src: str, msg: Any) -> None:
+        if self.transport.on_network_message(src, msg):
+            return
+        # Anything else is channel garbage (transient failures): tolerated.
+        self.trace.emit(self.scheduler.now, NOTE, self.pid,
+                        ignored=type(msg).__name__)
+
+    def ss_deliver(self, client: str, payload: Any, phase: int) -> None:
+        """Entry point of the ss-broadcast abstraction at this server."""
+        self.deliveries += 1
+        if self.strategy is not None:
+            self.strategy.on_deliver(self, client, payload, phase)
+            return
+        self.dispatch(client, payload, phase)
+
+    def dispatch(self, client: str, payload: Any, phase: int) -> None:
+        """Run the correct automaton for ``payload`` (if any)."""
+        reg_id = getattr(payload, "reg_id", None)
+        automaton = self.automatons.get(reg_id)
+        if automaton is not None:
+            automaton.on_deliver(client, payload, phase)
+
+    def reply(self, client: str, payload: Any, phase: int) -> None:
+        """Send an algorithm-level acknowledgement 'by return' (line 20/23)."""
+        self.send(client, SSReply(phase, payload))
+
+
+# ----------------------------------------------------------------------
+# client side
+# ----------------------------------------------------------------------
+class RegisterClientProcess(Process):
+    """Base class of writer/reader processes.
+
+    Owns the client-side ss-broadcast transport and collects phase-correlated
+    replies: at most one reply per (phase, server) is retained — the paper's
+    FIFO-matching remark means further replies from the same server answer
+    *later* broadcasts, and a correct server sends exactly one.
+    """
+
+    def __init__(self, pid: str, scheduler: Scheduler, trace: Trace):
+        super().__init__(pid, scheduler, trace)
+        self.transport: Optional[ClientTransport] = None
+        self._replies: Dict[int, Dict[str, Any]] = {}
+
+    def attach_transport(self, transport: ClientTransport) -> None:
+        self.transport = transport
+
+    def on_message(self, src: str, msg: Any) -> None:
+        if isinstance(msg, SSReply):
+            collected = self._replies.get(msg.phase)
+            if collected is not None and src not in collected:
+                collected[src] = msg.payload
+            return
+        if self.transport is not None and \
+                self.transport.on_network_message(src, msg):
+            return
+        self.trace.emit(self.scheduler.now, NOTE, self.pid,
+                        ignored=type(msg).__name__)
+
+    # -- coroutine helpers -------------------------------------------------
+    def ss_broadcast(self, payload: Any) -> Generator[WaitCondition, None, int]:
+        """The blocking ``ss_broadcast(m)`` invocation; returns the phase."""
+        handle = self.transport.begin(payload)
+        self._replies[handle.phase] = {}
+        yield Predicate(handle.completed, label=f"ss_broadcast:{handle.phase}")
+        return handle.phase
+
+    def replies(self, phase: int) -> Dict[str, Any]:
+        return self._replies.get(phase, {})
+
+    def await_replies(self, phase: int, count: int) -> WaitCondition:
+        """Condition: replies received from ``count`` different servers."""
+        return Predicate(lambda: len(self._replies.get(phase, ())) >= count,
+                         label=f"await_replies:{phase}:{count}")
+
+    def retire_phase(self, phase: int) -> None:
+        """Drop bookkeeping of a completed wait (keeps memory bounded)."""
+        self._replies.pop(phase, None)
+        if self.transport is not None:
+            self.transport.retire(phase)

@@ -1,0 +1,116 @@
+"""Bounded epoch labels — the labeling scheme of Alon et al. [1] (§5.2).
+
+Let ``k > 1`` and ``K = k^2 + 1``, ``X = {1, ..., K}``.  An *epoch* is a
+pair ``(s, A)`` with ``s ∈ X`` and ``A ⊆ X`` of size ``k``.  Comparison:
+
+    (si, Ai) ≻ (sj, Aj)  iff  sj ∈ Ai and si ∉ Aj
+
+which is antisymmetric but **partial** — two epochs may be incomparable
+(that is the point: it cannot be wrapped around by transient corruption).
+``next_epoch`` takes up to ``k`` epochs and produces one greater than all
+of them, which is what lets the MWMR construction escape an arbitrary
+corrupted configuration (Figure 4, lines 02-03 and 10-11).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """A bounded label ``(s, A)``; hashable so it can sit in quorum counts."""
+
+    s: int
+    A: FrozenSet[int]
+
+    def __repr__(self) -> str:
+        members = ",".join(str(x) for x in sorted(self.A))
+        return f"Epoch({self.s}|{{{members}}})"
+
+
+class EpochLabeling:
+    """The bounded labeling scheme with parameter ``k``.
+
+    ``k`` must be at least the number of labels ever passed to
+    :meth:`next_epoch` at once — for the MWMR construction that is the
+    number of processes ``m``.
+    """
+
+    def __init__(self, k: int):
+        if k < 2:
+            raise ValueError("k must be > 1")
+        self.k = k
+        self.K = k * k + 1
+
+    # -- domain -------------------------------------------------------------
+    def is_valid(self, epoch) -> bool:
+        """Domain check (corrupted labels are still *some* label)."""
+        return (isinstance(epoch, Epoch)
+                and isinstance(epoch.s, int)
+                and 1 <= epoch.s <= self.K
+                and isinstance(epoch.A, frozenset)
+                and len(epoch.A) == self.k
+                and all(isinstance(x, int) and 1 <= x <= self.K
+                        for x in epoch.A))
+
+    def initial(self) -> Epoch:
+        """A canonical starting label for clean configurations."""
+        return Epoch(1, frozenset(range(2, self.k + 2)))
+
+    def random_epoch(self, rng: random.Random) -> Epoch:
+        """An arbitrary valid label (transient-failure fuzzing)."""
+        s = rng.randrange(1, self.K + 1)
+        members = rng.sample(range(1, self.K + 1), self.k)
+        return Epoch(s, frozenset(members))
+
+    # -- order ----------------------------------------------------------------
+    def greater(self, left: Epoch, right: Epoch) -> bool:
+        """``left ≻ right``  ≝  ``right.s ∈ left.A ∧ left.s ∉ right.A``."""
+        return (right.s in left.A) and (left.s not in right.A)
+
+    def geq(self, left: Epoch, right: Epoch) -> bool:
+        """``left ⪰ right``  ≝  ``left ≻ right ∨ left = right``."""
+        return left == right or self.greater(left, right)
+
+    def max_epoch(self, epochs: Sequence[Epoch]) -> Optional[Epoch]:
+        """The epoch ⪰ every other one, or ``None`` if no such epoch exists.
+
+        (The paper's ``max_epoch()`` predicate plus the witness.)
+        """
+        for candidate in epochs:
+            if all(self.geq(candidate, other) for other in epochs):
+                return candidate
+        return None
+
+    # -- generation -------------------------------------------------------------
+    def next_epoch(self, epochs: Iterable[Epoch]) -> Epoch:
+        """An epoch ``≻`` every input epoch (at most ``k`` of them).
+
+        * ``s`` is an element of ``X`` outside ``A1 ∪ ... ∪ Ak`` (exists
+          because the union has at most ``k^2`` elements and ``|X| = k^2+1``);
+        * ``A`` has size exactly ``k`` and contains every input ``s_i``
+          (padded with arbitrary — here: smallest unused — elements).
+
+        Choices are made deterministically (smallest candidates) so runs
+        are reproducible.
+        """
+        epoch_list = list(epochs)
+        if len(epoch_list) > self.k:
+            raise ValueError(
+                f"next_epoch takes at most k={self.k} epochs, got {len(epoch_list)}")
+        union: set = set()
+        for epoch in epoch_list:
+            union |= set(epoch.A)
+        s = next(x for x in range(1, self.K + 1) if x not in union)
+        # A must contain every input s_i (possibly including s itself: the
+        # scheme allows s ∈ A, and dropping an s_i equal to s would break
+        # domination over that input).
+        members = {epoch.s for epoch in epoch_list}
+        padding = (x for x in range(1, self.K + 1) if x not in members)
+        members_list: List[int] = sorted(members)
+        while len(members_list) < self.k:
+            members_list.append(next(padding))
+        return Epoch(s, frozenset(members_list[:self.k]))

@@ -1,0 +1,212 @@
+"""Stabilizing SWSR **regular** register — Figure 2 of the paper.
+
+The code is laid out to mirror the pseudo-code line by line (line numbers in
+comments refer to Figure 2).  The same roles also implement the synchronous
+variant of Figure 5: when :class:`~repro.registers.base.QuorumParams` is
+constructed with ``synchronous=True`` the acknowledgement wait becomes
+"all ``n`` servers or a timeout" and the thresholds drop from
+``(2t+1, 4t+1)`` to ``(t+1, t+1)``, exactly the lines suffixed ``.M`` in
+Figure 5 (see :mod:`repro.registers.swsr_sync`).
+
+Roles vs processes
+------------------
+The protocol logic lives in *role* objects (:class:`RegularWriterRole`,
+:class:`RegularReaderRole`) bound to a hosting client process, so the SWMR
+and MWMR constructions can host many roles on one process.  Stand-alone
+:class:`RegularWriter` / :class:`RegularReader` processes wrap a single
+role for the plain SWSR usage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from ..sim.process import AnyOf, Deadline, Predicate, WaitCondition
+from ..sim.scheduler import Scheduler
+from ..sim.trace import Trace
+from .base import (QuorumParams, RegisterClientProcess, ServerAutomaton,
+                   ServerProcess, first_k, value_with_quorum)
+from .messages import BOT, AckRead, AckWrite, NewHelpVal, Read, Write
+
+
+def default_value_fuzz(rng) -> Any:
+    """Domain-respecting arbitrary replacement for a stored value.
+
+    Transient failures replace a variable with *some* value of its domain
+    (standard self-stabilization convention); occasionally ⊥, which is legal
+    for helping values.
+    """
+    roll = rng.random()
+    if roll < 0.15:
+        return BOT
+    return f"corrupt#{rng.randrange(1_000_000)}"
+
+
+class RegularRegisterServer(ServerAutomaton):
+    """Server automaton: lines 19-23 of Figure 2.
+
+    ``last_val`` and ``helping_val`` are the two corruptible local
+    variables the paper describes; they are registered with the hosting
+    process so the transient-fault injector can overwrite them.
+    """
+
+    def __init__(self, server: ServerProcess, reg_id: str,
+                 initial: Any = None, value_fuzz=default_value_fuzz):
+        super().__init__(server, reg_id)
+        self.last_val: Any = initial
+        self.helping_val: Any = BOT
+        server.register_corruptible_var(
+            f"{reg_id}.last_val",
+            getter=lambda: self.last_val,
+            setter=lambda v: setattr(self, "last_val", v),
+            fuzz=value_fuzz)
+        server.register_corruptible_var(
+            f"{reg_id}.helping_val",
+            getter=lambda: self.helping_val,
+            setter=lambda v: setattr(self, "helping_val", v),
+            fuzz=value_fuzz)
+
+    def on_deliver(self, client: str, payload: Any, phase: int) -> None:
+        if isinstance(payload, Write):
+            self.last_val = payload.value                            # line 19
+            self.server.reply(client,
+                              AckWrite(self.reg_id, self.helping_val),
+                              phase)                                 # line 20
+        elif isinstance(payload, NewHelpVal):
+            self.helping_val = payload.value                         # line 21
+        elif isinstance(payload, Read):
+            if payload.new_read:
+                self.helping_val = BOT                               # line 22
+            self.server.reply(client,
+                              AckRead(self.reg_id, self.last_val,
+                                      self.helping_val),
+                              phase)                                 # line 23
+
+
+class _RoleBase:
+    """Shared machinery of writer/reader roles (ack waits, field extraction)."""
+
+    def __init__(self, host: RegisterClientProcess, reg_id: str,
+                 params: QuorumParams):
+        self.host = host
+        self.reg_id = reg_id
+        self.params = params
+
+    def _timeout(self) -> float:
+        """Timeout covering a round trip to every correct server (§3.3).
+
+        Only meaningful for the synchronous model, where the delay bound is
+        known to the processes.
+        """
+        bound = self.params.delay_bound
+        if bound is None:
+            raise ValueError("synchronous mode requires a known delay bound")
+        return 2.0 * bound * 1.25
+
+    def _await_acks(self, phase: int,
+                    started_at: float) -> Generator[WaitCondition, None, None]:
+        """Line 02 / 11 (async) or 02.M / 11.M (sync: all n or timeout)."""
+        if self.params.synchronous:
+            deadline = Deadline(started_at + self._timeout())
+            yield AnyOf(self.host.await_replies(phase, self.params.ack_quorum),
+                        deadline)
+        else:
+            yield self.host.await_replies(phase, self.params.ack_quorum)
+
+    def _collect(self, phase: int, cls, fields: Tuple[str, ...]) -> List[Tuple]:
+        """First ``ack_quorum`` replies; non-conforming (Byzantine garbage)
+
+        replies contribute a unique token so they can never help a quorum.
+        """
+        taken = first_k(self.host.replies(phase), self.params.ack_quorum)
+        rows = []
+        for sender, payload in taken:
+            if isinstance(payload, cls) and payload.reg_id == self.reg_id:
+                rows.append(tuple(getattr(payload, f) for f in fields))
+            else:
+                rows.append(tuple(("garbage", sender, f) for f in fields))
+        return rows
+
+
+class RegularWriterRole(_RoleBase):
+    """``operation write(v)`` — lines 01-06 of Figure 2."""
+
+    def write_gen(self, value: Any) -> Generator[WaitCondition, None, None]:
+        started_at = self.host.scheduler.now
+        phase = yield from self.host.ss_broadcast(
+            Write(self.reg_id, value))                               # line 01
+        yield from self._await_acks(phase, started_at)               # line 02
+        rows = self._collect(phase, AckWrite, ("helping_val",))
+        helping_vals = [row[0] for row in rows]
+        self.host.retire_phase(phase)
+        agreed_help = value_with_quorum(
+            helping_vals, self.params.help_quorum, exclude_bot=True)
+        if agreed_help is None:                                      # line 03
+            help_phase = yield from self.host.ss_broadcast(
+                NewHelpVal(self.reg_id, value))                      # line 04
+            self.host.retire_phase(help_phase)
+        return None                                                  # line 06
+
+
+class RegularReaderRole(_RoleBase):
+    """``operation read()`` — lines 07-18 of Figure 2."""
+
+    def read_gen(self) -> Generator[WaitCondition, None, Any]:
+        new_read = True                                              # line 07
+        while True:                                                  # line 08
+            started_at = self.host.scheduler.now
+            phase = yield from self.host.ss_broadcast(
+                Read(self.reg_id, new_read))                         # line 09
+            new_read = False                                         # line 10
+            yield from self._await_acks(phase, started_at)           # line 11
+            rows = self._collect(phase, AckRead, ("last_val", "helping_val"))
+            self.host.retire_phase(phase)
+            last_vals = [row[0] for row in rows]
+            value = value_with_quorum(last_vals, self.params.value_quorum)
+            if value is not None:                                    # line 12
+                return value                                         # line 13
+            helping_vals = [row[1] for row in rows]
+            help_value = value_with_quorum(
+                helping_vals, self.params.value_quorum, exclude_bot=True)
+            if help_value is not None:                               # line 14
+                return help_value                                    # line 15
+            # neither predicate held: re-enter the loop body (line 18)
+
+
+class RegularWriter(RegisterClientProcess):
+    """Stand-alone writer process ``p_w`` hosting one writer role."""
+
+    def __init__(self, pid: str, scheduler: Scheduler, trace: Trace,
+                 reg_id: str, params: QuorumParams):
+        super().__init__(pid, scheduler, trace)
+        self.role = RegularWriterRole(self, reg_id, params)
+
+    def write(self, value: Any):
+        """Invoke ``REG.write(value)``; returns an operation handle."""
+        handle = self.start_operation("write", self.role.write_gen(value))
+        handle.meta.update(kind="write", value=value,
+                           register=self.role.reg_id)
+        return handle
+
+
+class RegularReader(RegisterClientProcess):
+    """Stand-alone reader process ``p_r`` hosting one reader role."""
+
+    def __init__(self, pid: str, scheduler: Scheduler, trace: Trace,
+                 reg_id: str, params: QuorumParams):
+        super().__init__(pid, scheduler, trace)
+        self.role = RegularReaderRole(self, reg_id, params)
+
+    def read(self):
+        """Invoke ``REG.read()``; returns an operation handle."""
+        handle = self.start_operation("read", self.role.read_gen())
+        handle.meta.update(kind="read", register=self.role.reg_id)
+        return handle
+
+
+def install_servers(servers: List[ServerProcess], reg_id: str,
+                    initial: Any = None) -> List[RegularRegisterServer]:
+    """Attach a regular-register automaton for ``reg_id`` to every server."""
+    return [server.add_automaton(
+        RegularRegisterServer(server, reg_id, initial=initial))
+        for server in servers]

@@ -1,0 +1,85 @@
+"""SWSR registers over **synchronous** links — Figure 5 / Appendix A.
+
+Synchronous means each link connecting a client and a correct server is
+timely: message transfer delays are bounded by a constant *known to the
+processes*.  Clients then wait for acknowledgements from **all n** servers
+or a timeout (lines 02.M / 11.M), and the thresholds drop to ``t + 1``
+(lines 03.M / 12.M / 14.M), tolerating ``t < n/3`` instead of ``t < n/8``
+(Theorem 2).
+
+The actual protocol logic is shared with Figures 2/3 — the roles in
+:mod:`~repro.registers.swsr_regular` and :mod:`~repro.registers.swsr_atomic`
+switch behaviour on ``params.synchronous``.  This module provides the
+correctly parameterised entry points, including the "similar extension" to
+an atomic register the paper mentions at the end of Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .base import QuorumParams
+from .bounded_seq import WsnConfig
+from .swsr_atomic import (AtomicReader, AtomicWriter,
+                          install_servers as install_atomic_servers)
+from .swsr_regular import (RegularReader, RegularWriter,
+                           install_servers as install_regular_servers)
+
+
+def sync_params(n: int, t: int, delay_bound: float,
+                enforce_resilience: bool = True) -> QuorumParams:
+    """Quorum parameters for the synchronous model (``n >= 3t + 1``)."""
+    params = QuorumParams(n=n, t=t, synchronous=True,
+                          delay_bound=delay_bound)
+    if enforce_resilience:
+        params.require_resilience()
+    return params
+
+
+class SyncRegularWriter(RegularWriter):
+    """Figure 5 writer: ``write(v)`` with the all-n-or-timeout wait."""
+
+    def __init__(self, pid, scheduler, trace, reg_id,
+                 n: int, t: int, delay_bound: float,
+                 enforce_resilience: bool = True):
+        super().__init__(pid, scheduler, trace, reg_id,
+                         sync_params(n, t, delay_bound, enforce_resilience))
+
+
+class SyncRegularReader(RegularReader):
+    """Figure 5 reader: ``read()`` with ``t + 1`` matching thresholds."""
+
+    def __init__(self, pid, scheduler, trace, reg_id,
+                 n: int, t: int, delay_bound: float,
+                 enforce_resilience: bool = True):
+        super().__init__(pid, scheduler, trace, reg_id,
+                         sync_params(n, t, delay_bound, enforce_resilience))
+
+
+class SyncAtomicWriter(AtomicWriter):
+    """Synchronous-link practically atomic writer (Section 4, last remark)."""
+
+    def __init__(self, pid, scheduler, trace, reg_id,
+                 n: int, t: int, delay_bound: float,
+                 config: Optional[WsnConfig] = None,
+                 enforce_resilience: bool = True):
+        super().__init__(pid, scheduler, trace, reg_id,
+                         sync_params(n, t, delay_bound, enforce_resilience),
+                         config)
+
+
+class SyncAtomicReader(AtomicReader):
+    """Synchronous-link practically atomic reader."""
+
+    def __init__(self, pid, scheduler, trace, reg_id,
+                 n: int, t: int, delay_bound: float,
+                 config: Optional[WsnConfig] = None,
+                 enforce_resilience: bool = True):
+        super().__init__(pid, scheduler, trace, reg_id,
+                         sync_params(n, t, delay_bound, enforce_resilience),
+                         config)
+
+
+# Servers are oblivious to the synchrony assumption: reuse as-is.
+install_sync_regular_servers = install_regular_servers
+install_sync_atomic_servers = install_atomic_servers

@@ -1,0 +1,236 @@
+"""Cluster builder: one-stop construction of simulated register systems.
+
+A :class:`Cluster` owns the scheduler, trace, randomness, network and the
+``n`` server processes of the paper's client/server architecture, plus the
+(n, t) quorum arithmetic.  Register factories then attach clients and
+server automatons:
+
+>>> cluster = Cluster(ClusterConfig(n=9, t=1, seed=7))
+>>> writer, reader = build_swsr_regular(cluster)
+>>> done = writer.write("hello")
+>>> cluster.run_ops([done])
+>>> read = reader.read()
+>>> cluster.run_ops([read])
+>>> read.result
+'hello'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..datalink.ss_broadcast import (DataLinkClientTransport,
+                                     DirectClientTransport)
+from ..sim.network import (AsyncDelay, DelayModel, FixedDelay, Network,
+                           SyncDelay)
+from ..sim.process import OperationHandle
+from ..sim.random_source import RandomSource
+from ..sim.scheduler import Scheduler
+from ..sim.trace import Trace
+from .base import QuorumParams, RegisterClientProcess, ServerProcess
+from .bounded_seq import WsnConfig
+from .epochs import EpochLabeling
+from .mwmr import DEFAULT_SEQ_BOUND, MWMRProcess, MWMRRegister
+from .swmr import SWMRRegister
+from .swsr_atomic import AtomicReader, AtomicWriter
+from .swsr_atomic import install_servers as install_atomic_servers
+from .swsr_regular import RegularReader, RegularWriter
+from .swsr_regular import install_servers as install_regular_servers
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to stand up a simulated storage cluster."""
+
+    n: int = 9
+    t: int = 1
+    seed: int = 0
+    #: synchronous links (Figure 5 / Appendix A) vs asynchronous (default).
+    synchronous: bool = False
+    #: known delay bound for the synchronous model.
+    delay_bound: float = 1.0
+    #: (lo, hi) of the asynchronous uniform delay distribution.
+    async_delay: Tuple[float, float] = (0.1, 2.0)
+    #: "direct" (fast, property-faithful) or "datalink" (footnote-3 packets).
+    transport: str = "direct"
+    datalink_cap: int = 2
+    datalink_retry: float = 0.25
+    #: refuse (n, t) outside the paper's resilience bound unless disabled
+    #: (the bound-tightness experiments disable it deliberately).
+    enforce_resilience: bool = True
+    #: trace kinds to record; None records everything (tests), an empty set
+    #: records nothing but still counts (benches).
+    record_kinds: Optional[set] = None
+
+    def delay_model(self) -> DelayModel:
+        if self.synchronous:
+            return SyncDelay(self.delay_bound)
+        return AsyncDelay(*self.async_delay)
+
+
+class Cluster:
+    """The ``n`` servers, their network, and client plumbing."""
+
+    def __init__(self, config: ClusterConfig,
+                 delay_model: Optional[DelayModel] = None):
+        self.config = config
+        self.scheduler = Scheduler()
+        self.trace = Trace(record_kinds=config.record_kinds)
+        self.randomness = RandomSource(config.seed)
+        self.network = Network(self.scheduler, self.randomness, self.trace,
+                               default_delay=delay_model or config.delay_model())
+        self.params = QuorumParams(
+            n=config.n, t=config.t, synchronous=config.synchronous,
+            delay_bound=config.delay_bound if config.synchronous else None)
+        if config.enforce_resilience:
+            self.params.require_resilience()
+        self.servers: List[ServerProcess] = []
+        for index in range(config.n):
+            server = ServerProcess(f"s{index + 1}", self.scheduler, self.trace)
+            self.network.register(server)
+            self.servers.append(server)
+        self.clients: List[RegisterClientProcess] = []
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def server_ids(self) -> List[str]:
+        return [server.pid for server in self.servers]
+
+    def server(self, pid: str) -> ServerProcess:
+        for candidate in self.servers:
+            if candidate.pid == pid:
+                return candidate
+        raise KeyError(f"no server {pid!r}")
+
+    # -- clients --------------------------------------------------------------
+    def make_client(self, pid: str) -> RegisterClientProcess:
+        """Create, register and transport-attach a plain client process."""
+        return self.adopt_client(
+            RegisterClientProcess(pid, self.scheduler, self.trace))
+
+    def adopt_client(self, process: RegisterClientProcess) -> RegisterClientProcess:
+        """Register a pre-built client (writer/reader/MWMR process)."""
+        self.network.register(process)
+        process.attach_transport(self._make_transport(process))
+        self.clients.append(process)
+        return process
+
+    def _make_transport(self, process: RegisterClientProcess):
+        quorum = self.params.n - self.params.t
+        if self.config.transport == "direct":
+            return DirectClientTransport(process, self.server_ids, quorum)
+        if self.config.transport == "datalink":
+            server_map = {server.pid: server for server in self.servers}
+            return DataLinkClientTransport(
+                process, server_map, quorum, self.scheduler, self.randomness,
+                cap=self.config.datalink_cap,
+                retry_interval=self.config.datalink_retry,
+                delay_model=FixedDelay(0.05))
+        raise ValueError(f"unknown transport {self.config.transport!r}")
+
+    # -- faults ------------------------------------------------------------------
+    def make_byzantine(self, server_ids: Iterable[str], strategy_factory) -> None:
+        """Install a Byzantine strategy on the given servers.
+
+        ``strategy_factory(server)`` returns a strategy object (see
+        ``repro.faults.byzantine``); passing ``None`` restores correctness.
+        """
+        for server_id in server_ids:
+            server = self.server(server_id)
+            strategy = strategy_factory(server) if strategy_factory else None
+            server.strategy = strategy
+            if strategy is not None and hasattr(strategy, "attach"):
+                strategy.attach(server)
+            if strategy is None:
+                server.confirm_enabled = True
+
+    @property
+    def byzantine_ids(self) -> List[str]:
+        return [server.pid for server in self.servers
+                if server.strategy is not None]
+
+    # -- running --------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        self.scheduler.run(until=until, max_events=max_events)
+
+    def run_ops(self, handles: Sequence[OperationHandle],
+                max_events: int = 2_000_000) -> None:
+        """Run until every listed operation completed.
+
+        Raises :class:`~repro.sim.errors.SimulationLimitReached` if one of
+        them never terminates (the observable symptom of a violated
+        resilience assumption).
+        """
+        self.scheduler.run_until(
+            lambda: all(handle.done for handle in handles),
+            max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+
+# ----------------------------------------------------------------------
+# register factories
+# ----------------------------------------------------------------------
+def build_swsr_regular(cluster: Cluster, reg_id: str = "reg",
+                       initial: Any = None, writer_pid: str = "w",
+                       reader_pid: str = "r") -> Tuple[RegularWriter,
+                                                       RegularReader]:
+    """Figure 2 (or Figure 5 when the cluster is synchronous)."""
+    install_regular_servers(cluster.servers, reg_id, initial=initial)
+    writer = RegularWriter(writer_pid, cluster.scheduler, cluster.trace,
+                           reg_id, cluster.params)
+    reader = RegularReader(reader_pid, cluster.scheduler, cluster.trace,
+                           reg_id, cluster.params)
+    cluster.adopt_client(writer)
+    cluster.adopt_client(reader)
+    return writer, reader
+
+
+def build_swsr_atomic(cluster: Cluster, reg_id: str = "reg",
+                      initial: Any = None, writer_pid: str = "w",
+                      reader_pid: str = "r",
+                      config: Optional[WsnConfig] = None
+                      ) -> Tuple[AtomicWriter, AtomicReader]:
+    """Figure 3 (practically stabilizing SWSR atomic register)."""
+    config = config or WsnConfig()
+    install_atomic_servers(cluster.servers, reg_id, initial=initial,
+                           config=config)
+    writer = AtomicWriter(writer_pid, cluster.scheduler, cluster.trace,
+                          reg_id, cluster.params, config)
+    reader = AtomicReader(reader_pid, cluster.scheduler, cluster.trace,
+                          reg_id, cluster.params, config, initial=initial)
+    cluster.adopt_client(writer)
+    cluster.adopt_client(reader)
+    return writer, reader
+
+
+def build_swmr(cluster: Cluster, reader_pids: Sequence[str],
+               reg_id: str = "reg", initial: Any = None,
+               writer_pid: str = "w",
+               config: Optional[WsnConfig] = None) -> SWMRRegister:
+    """Section 5.1 (SWMR atomic register from per-reader SWSR copies)."""
+    writer = cluster.make_client(writer_pid)
+    readers = [cluster.make_client(pid) for pid in reader_pids]
+    return SWMRRegister(reg_id, writer, readers, cluster.servers,
+                        cluster.params, config=config, initial=initial)
+
+
+def build_mwmr(cluster: Cluster, m: int, reg_id: str = "mwmr",
+               seq_bound: int = DEFAULT_SEQ_BOUND,
+               k: Optional[int] = None,
+               wsn_config: Optional[WsnConfig] = None) -> MWMRRegister:
+    """Figure 4 (MWMR atomic register; processes named ``p1..pm``)."""
+    processes = []
+    for index in range(m):
+        process = MWMRProcess(f"p{index + 1}", cluster.scheduler,
+                              cluster.trace)
+        cluster.adopt_client(process)
+        processes.append(process)
+    labeling = EpochLabeling(k=k) if k is not None else None
+    return MWMRRegister(reg_id, processes, cluster.servers, cluster.params,
+                        labeling=labeling, seq_bound=seq_bound,
+                        wsn_config=wsn_config)

@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation substrate.
+
+Implements the paper's basic system model (Section 2.1): sequential
+processes connected by reliable FIFO directed links with pluggable delay
+(asynchrony) models, all driven by a single seeded virtual-time scheduler
+so that runs are exactly reproducible and stabilization instants are exact.
+"""
+
+from .errors import (LinkError, OperationError, SchedulerError,
+                     SimulationError, SimulationLimitReached,
+                     UnknownProcessError)
+from .network import (AsyncDelay, DelayModel, FixedDelay, Link, Network,
+                      ScriptedDelay, SyncDelay)
+from .process import (AllOf, AnyOf, Deadline, OperationHandle, Predicate,
+                      Process, WaitCondition, join_all)
+from .random_source import RandomSource, derive_seed
+from .scheduler import EventHandle, Scheduler
+from .trace import (BROADCAST, DELIVER, FAULT, NOTE, OP_INVOKE, OP_RESPONSE,
+                    SEND, TIMER, Trace, TraceEvent)
+
+__all__ = [
+    "AllOf", "AnyOf", "AsyncDelay", "BROADCAST", "DELIVER", "Deadline",
+    "DelayModel", "EventHandle", "FAULT", "FixedDelay", "Link", "LinkError",
+    "NOTE", "Network", "OP_INVOKE", "OP_RESPONSE", "OperationError",
+    "OperationHandle", "Predicate", "Process", "RandomSource", "SEND",
+    "SchedulerError", "Scheduler", "ScriptedDelay", "SimulationError",
+    "SimulationLimitReached", "SyncDelay", "TIMER", "Trace", "TraceEvent",
+    "UnknownProcessError", "WaitCondition", "derive_seed", "join_all",
+]

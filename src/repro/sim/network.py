@@ -1,0 +1,222 @@
+"""Directed, reliable, FIFO message-passing network.
+
+The paper's basic model (Section 2.1): ``4n`` directed asynchronous links
+connecting each server to the writer and the reader, each link FIFO and
+reliable (no loss, corruption, duplication or creation) — except that
+transient failures may place arbitrary *initial* content on links, which we
+support via :meth:`Link.preload`.
+
+Delay models
+------------
+* :class:`AsyncDelay` — arbitrary finite delays (no bound known to the
+  processes); default model for Theorems 1, 3, 4.
+* :class:`SyncDelay` — delays bounded by a constant known to the processes;
+  model for the Appendix-A variant (Theorem 2).
+* :class:`FixedDelay` — handy in unit tests and hand-built schedules.
+* :class:`ScriptedDelay` — fully adversarial: a callable chooses each delay,
+  used to build the Figure-1 new/old-inversion schedule and the
+  quorum-attack experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .errors import LinkError, UnknownProcessError
+from .process import Process
+from .random_source import RandomSource
+from .scheduler import Scheduler
+from .trace import DELIVER, SEND, Trace
+
+
+# ----------------------------------------------------------------------
+# delay models
+# ----------------------------------------------------------------------
+class DelayModel:
+    """Strategy deciding the transfer delay of each message on a link."""
+
+    #: Upper bound on delays known to the processes, or None (asynchronous).
+    bound: Optional[float] = None
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+class FixedDelay(DelayModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0):
+        if delay <= 0:
+            raise LinkError("delay must be positive")
+        self.delay = delay
+        self.bound = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+
+class AsyncDelay(DelayModel):
+    """Unbounded-looking random delays (asynchronous links).
+
+    Delays are drawn uniformly from ``[lo, hi]`` but the *processes* are
+    given no bound (``bound is None``): algorithms relying on timeouts
+    cannot be run over this model, exactly as in the paper's asynchronous
+    setting.
+    """
+
+    def __init__(self, lo: float = 0.1, hi: float = 10.0):
+        if not 0 < lo <= hi:
+            raise LinkError("need 0 < lo <= hi")
+        self.lo = lo
+        self.hi = hi
+        self.bound = None
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.lo, self.hi)
+
+
+class SyncDelay(DelayModel):
+    """Delays in ``(0, bound]`` with the bound known to the processes."""
+
+    def __init__(self, bound: float = 1.0):
+        if bound <= 0:
+            raise LinkError("bound must be positive")
+        self.bound = bound
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(1e-6, self.bound)
+
+
+class ScriptedDelay(DelayModel):
+    """Adversarial delays chosen by a callable ``chooser(src, dst, msg, rng)``.
+
+    The chooser sees the endpoints and the message, so integration tests can
+    build exact interleavings (e.g. the Figure-1 inversion schedule).
+    """
+
+    def __init__(self, chooser: Callable[[str, str, Any, random.Random], float],
+                 bound: Optional[float] = None):
+        self.chooser = chooser
+        self.bound = bound
+        self._src = ""
+        self._dst = ""
+        self._msg: Any = None
+
+    def bind(self, src: str, dst: str, msg: Any) -> None:
+        self._src, self._dst, self._msg = src, dst, msg
+
+    def sample(self, rng: random.Random) -> float:
+        return self.chooser(self._src, self._dst, self._msg, rng)
+
+
+# ----------------------------------------------------------------------
+# links and network
+# ----------------------------------------------------------------------
+class Link:
+    """One directed FIFO reliable link."""
+
+    __slots__ = ("src", "dst", "delay_model", "rng", "last_delivery",
+                 "messages_sent", "up")
+
+    def __init__(self, src: str, dst: str, delay_model: DelayModel,
+                 rng: random.Random):
+        self.src = src
+        self.dst = dst
+        self.delay_model = delay_model
+        self.rng = rng
+        self.last_delivery = 0.0
+        self.messages_sent = 0
+        self.up = True
+
+    def next_delivery_time(self, now: float, message: Any) -> float:
+        """FIFO-respecting delivery instant for a message sent at ``now``."""
+        model = self.delay_model
+        if isinstance(model, ScriptedDelay):
+            model.bind(self.src, self.dst, message)
+        candidate = now + model.sample(self.rng)
+        # FIFO: never deliver before a previously sent message on this link.
+        delivery = max(candidate, self.last_delivery)
+        self.last_delivery = delivery
+        return delivery
+
+
+class Network:
+    """The set of all links plus process registry and delivery machinery."""
+
+    def __init__(self, scheduler: Scheduler, randomness: RandomSource,
+                 trace: Trace, default_delay: Optional[DelayModel] = None):
+        self.scheduler = scheduler
+        self.randomness = randomness
+        self.trace = trace
+        self.default_delay = default_delay or AsyncDelay()
+        self.processes: Dict[str, Process] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    # -- topology ---------------------------------------------------------
+    def register(self, process: Process) -> Process:
+        self.processes[process.pid] = process
+        process.network = self
+        return process
+
+    def link(self, src: str, dst: str,
+             delay_model: Optional[DelayModel] = None) -> Link:
+        """Get or create the directed link ``src -> dst``."""
+        key = (src, dst)
+        existing = self.links.get(key)
+        if existing is not None:
+            if delay_model is not None:
+                existing.delay_model = delay_model
+            return existing
+        model = delay_model or self.default_delay
+        rng = self.randomness.stream(f"link:{src}->{dst}")
+        created = Link(src, dst, model, rng)
+        self.links[key] = created
+        return created
+
+    def connect_all(self, clients: Iterable[str], servers: Iterable[str],
+                    delay_model: Optional[DelayModel] = None) -> None:
+        """Create the paper's 4n-link topology (both directions)."""
+        server_list = list(servers)
+        for client in clients:
+            for server in server_list:
+                self.link(client, server, delay_model)
+                self.link(server, client, delay_model)
+
+    # -- transport ----------------------------------------------------------
+    def send(self, src: str, dst: str, message: Any) -> None:
+        if dst not in self.processes:
+            raise UnknownProcessError(f"no process {dst!r} registered")
+        link = self.link(src, dst)
+        self.messages_sent += 1
+        link.messages_sent += 1
+        self.trace.emit(self.scheduler.now, SEND, src, dst=dst, msg=message)
+        delivery_time = link.next_delivery_time(self.scheduler.now, message)
+        self.scheduler.schedule_at(delivery_time, self._deliver, src, dst,
+                                   message, label=f"{src}->{dst}")
+
+    def preload(self, src: str, dst: str, messages: Iterable[Any],
+                spread: float = 0.5) -> None:
+        """Place arbitrary initial content on a link (transient failures).
+
+        The garbage messages are delivered FIFO ahead of anything sent later,
+        within ``spread`` time units of the current instant.
+        """
+        link = self.link(src, dst)
+        garbage = list(messages)
+        for index, message in enumerate(garbage):
+            offset = spread * (index + 1) / (len(garbage) + 1)
+            delivery_time = max(self.scheduler.now + offset, link.last_delivery)
+            link.last_delivery = delivery_time
+            self.scheduler.schedule_at(delivery_time, self._deliver, src, dst,
+                                       message, label=f"preload:{src}->{dst}")
+
+    def _deliver(self, src: str, dst: str, message: Any) -> None:
+        process = self.processes.get(dst)
+        if process is None:  # pragma: no cover - defensive
+            raise UnknownProcessError(f"process {dst!r} vanished")
+        self.messages_delivered += 1
+        self.trace.emit(self.scheduler.now, DELIVER, dst, src=src, msg=message)
+        process.deliver(src, message)

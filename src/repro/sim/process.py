@@ -1,0 +1,327 @@
+"""Process abstraction and coroutine-style blocking operations.
+
+The paper models each participant (writer, reader, servers) as a state
+machine with ``send``/``receive``.  Servers are purely reactive, so they are
+plain :class:`Process` subclasses overriding :meth:`Process.on_message`.
+
+Writers and readers execute *blocking* operations ("wait until messages
+ACK_WRITE received from (n-t) different servers...").  We express those as
+generator coroutines that yield :class:`WaitCondition` objects; the hosting
+:class:`Process` re-evaluates the pending condition after every delivered
+message or timer and resumes the generator when it holds.  This keeps the
+algorithm code visually close to the paper's pseudo-code (compare
+``repro/registers/swsr_regular.py`` with Figure 2).
+
+Corruptible state
+-----------------
+Transient failures may corrupt *any* local variable (Section 2.1).  Each
+process registers its protocol variables in :attr:`Process.corruptible`
+together with a fuzzing function; the fault injector in
+``repro.faults.transient`` overwrites exactly those.  Substrate-level
+bookkeeping (the event queue, phase tokens — see DESIGN.md §2.5) is not
+registered and hence not corrupted, mirroring the paper's reliance on a
+self-stabilizing data link.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Callable, Dict, Generator, List, Optional)
+
+from .errors import OperationError
+from .scheduler import Scheduler
+from .trace import OP_INVOKE, OP_RESPONSE, Trace
+
+
+# ----------------------------------------------------------------------
+# wait conditions
+# ----------------------------------------------------------------------
+class WaitCondition:
+    """Base class for things a client coroutine can block on."""
+
+    def arm(self, process: "Process") -> None:
+        """Hook called when a coroutine starts waiting on this condition."""
+
+    def satisfied(self) -> bool:
+        raise NotImplementedError
+
+
+class Predicate(WaitCondition):
+    """Blocks until an arbitrary zero-argument callable returns true."""
+
+    def __init__(self, fn: Callable[[], bool], label: str = ""):
+        self._fn = fn
+        self.label = label
+
+    def satisfied(self) -> bool:
+        return bool(self._fn())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Predicate({self.label or self._fn!r})"
+
+
+class Deadline(WaitCondition):
+    """Blocks until virtual time reaches ``at``.
+
+    Arms a wake-up event so the hosting process re-checks its pending
+    condition exactly when the deadline passes (used by the synchronous-link
+    variant's timeouts, Figure 5 lines 02.M/11.M).
+    """
+
+    def __init__(self, at: float):
+        self.at = at
+        self._armed = False
+
+    def arm(self, process: "Process") -> None:
+        if not self._armed:
+            self._armed = True
+            scheduler = process.scheduler
+            if self.at > scheduler.now:
+                scheduler.schedule_at(self.at, process.poll, label="deadline")
+
+    def satisfied(self) -> bool:
+        return self._scheduler_now is not None and self._scheduler_now() >= self.at
+
+    # Deadline needs access to the clock; bound during arm via the process.
+    _scheduler_now: Optional[Callable[[], float]] = None
+
+    def bind_clock(self, now_fn: Callable[[], float]) -> None:
+        self._scheduler_now = now_fn
+
+
+class AnyOf(WaitCondition):
+    """Satisfied when any child condition is satisfied."""
+
+    def __init__(self, *children: WaitCondition):
+        self.children = list(children)
+
+    def arm(self, process: "Process") -> None:
+        for child in self.children:
+            if isinstance(child, Deadline):
+                child.bind_clock(lambda: process.scheduler.now)
+            child.arm(process)
+
+    def satisfied(self) -> bool:
+        return any(child.satisfied() for child in self.children)
+
+
+class AllOf(WaitCondition):
+    """Satisfied when every child condition is satisfied."""
+
+    def __init__(self, *children: WaitCondition):
+        self.children = list(children)
+
+    def arm(self, process: "Process") -> None:
+        for child in self.children:
+            if isinstance(child, Deadline):
+                child.bind_clock(lambda: process.scheduler.now)
+            child.arm(process)
+
+    def satisfied(self) -> bool:
+        return all(child.satisfied() for child in self.children)
+
+
+# ----------------------------------------------------------------------
+# operations
+# ----------------------------------------------------------------------
+class OperationHandle:
+    """Future-like result of a client operation."""
+
+    def __init__(self, name: str, process_id: str, invoke_time: float):
+        self.name = name
+        self.process_id = process_id
+        self.invoke_time = invoke_time
+        self.response_time: Optional[float] = None
+        self.done = False
+        self._result: Any = None
+        self.callbacks: List[Callable[["OperationHandle"], None]] = []
+        #: free-form annotations (operation kind, written value, register id)
+        #: used to build checker histories; see repro.checkers.history.
+        self.meta: Dict[str, Any] = {}
+
+    @property
+    def result(self) -> Any:
+        if not self.done:
+            raise OperationError(f"operation {self.name} has not completed")
+        return self._result
+
+    def _complete(self, result: Any, time: float) -> None:
+        self._result = result
+        self.response_time = time
+        self.done = True
+        for callback in self.callbacks:
+            callback(self)
+
+    def on_done(self, callback: Callable[["OperationHandle"], None]) -> None:
+        if self.done:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        status = f"done={self._result!r}" if self.done else "pending"
+        return f"Op({self.name} @{self.process_id}, {status})"
+
+
+OpGenerator = Generator[WaitCondition, None, Any]
+
+
+def join_all(*generators: OpGenerator) -> OpGenerator:
+    """Run several operation coroutines concurrently; return their results.
+
+    Used by the SWMR construction (write the same value to every reader's
+    copy, §5.1) and the MWMR scan (read all ``m`` SWMR registers, Figure 4
+    lines 01/09).  Yields :class:`AnyOf` over the children's pending
+    conditions and advances whichever child became runnable.
+    """
+    pending: Dict[int, WaitCondition] = {}
+    live: Dict[int, OpGenerator] = {}
+    results: List[Any] = [None] * len(generators)
+
+    for index, generator in enumerate(generators):
+        try:
+            pending[index] = generator.send(None)
+            live[index] = generator
+        except StopIteration as stop:
+            results[index] = stop.value
+
+    while live:
+        runnable = [i for i, cond in pending.items() if cond.satisfied()]
+        if not runnable:
+            yield AnyOf(*pending.values())
+            continue
+        for index in runnable:
+            generator = live.get(index)
+            if generator is None:
+                continue
+            try:
+                pending[index] = generator.send(None)
+            except StopIteration as stop:
+                results[index] = stop.value
+                del live[index]
+                del pending[index]
+    return results
+
+
+# ----------------------------------------------------------------------
+# processes
+# ----------------------------------------------------------------------
+class CorruptibleVar:
+    """Descriptor record for one transient-failure-corruptible variable."""
+
+    __slots__ = ("getter", "setter", "fuzz")
+
+    def __init__(self, getter: Callable[[], Any], setter: Callable[[Any], None],
+                 fuzz: Callable[[Any], Any]):
+        self.getter = getter
+        self.setter = setter
+        self.fuzz = fuzz
+
+
+class Process:
+    """A participant of the simulated system.
+
+    Subclasses implement :meth:`on_message`.  Client subclasses start
+    blocking operations with :meth:`start_operation`.
+    """
+
+    def __init__(self, pid: str, scheduler: Scheduler, trace: Trace):
+        self.pid = pid
+        self.scheduler = scheduler
+        self.trace = trace
+        self.network = None  # bound by Network.register
+        self.corruptible: Dict[str, CorruptibleVar] = {}
+        self._current_op: Optional[OperationHandle] = None
+        self._current_gen: Optional[OpGenerator] = None
+        self._current_cond: Optional[WaitCondition] = None
+        self._advancing = False
+
+    # -- messaging ------------------------------------------------------
+    def send(self, dst: str, message: Any) -> None:
+        """Send ``message`` over the (FIFO, reliable) link to ``dst``."""
+        self.network.send(self.pid, dst, message)
+
+    def deliver(self, src: str, message: Any) -> None:
+        """Called by the network when a message arrives; do not override."""
+        self.on_message(src, message)
+        self.poll()
+
+    def on_message(self, src: str, message: Any) -> None:
+        """Protocol reaction to a delivered message.  Override me."""
+
+    # -- corruptible state ---------------------------------------------
+    def register_corruptible(self, name: str,
+                             fuzz: Callable[[Any], Any]) -> None:
+        """Declare attribute ``name`` as transient-failure-corruptible.
+
+        ``fuzz(rng)`` must return an arbitrary replacement value.
+        """
+        self.corruptible[name] = CorruptibleVar(
+            getter=lambda: getattr(self, name),
+            setter=lambda value: setattr(self, name, value),
+            fuzz=fuzz,
+        )
+
+    def register_corruptible_var(self, name: str,
+                                 getter: Callable[[], Any],
+                                 setter: Callable[[Any], None],
+                                 fuzz: Callable[[Any], Any]) -> None:
+        """Like :meth:`register_corruptible` for state living on sub-objects
+
+        (register roles and server automatons hosted by this process).
+        """
+        self.corruptible[name] = CorruptibleVar(getter, setter, fuzz)
+
+    # -- blocking operations ---------------------------------------------
+    def start_operation(self, name: str, generator: OpGenerator) -> OperationHandle:
+        """Begin a blocking operation; processes are sequential (§2.1)."""
+        if self._current_op is not None and not self._current_op.done:
+            raise OperationError(
+                f"{self.pid} is sequential: {self._current_op.name} still running")
+        handle = OperationHandle(name, self.pid, self.scheduler.now)
+        self._current_op = handle
+        self._current_gen = generator
+        self._current_cond = None
+        self.trace.emit(self.scheduler.now, OP_INVOKE, self.pid, op=name)
+        # Kick the coroutine on a fresh event so invocation time ordering is
+        # consistent with message deliveries already queued at `now`.
+        self.scheduler.schedule(0.0, self.poll, label=f"start:{name}")
+        return handle
+
+    def poll(self) -> None:
+        """Re-evaluate the pending wait condition and advance the coroutine."""
+        if self._advancing:
+            return
+        generator = self._current_gen
+        if generator is None:
+            return
+        self._advancing = True
+        try:
+            while True:
+                if self._current_cond is not None:
+                    if not self._current_cond.satisfied():
+                        return
+                    self._current_cond = None
+                try:
+                    condition = generator.send(None)
+                except StopIteration as stop:
+                    handle = self._current_op
+                    self._current_gen = None
+                    self._current_cond = None
+                    self.trace.emit(self.scheduler.now, OP_RESPONSE, self.pid,
+                                    op=handle.name, result=stop.value)
+                    handle._complete(stop.value, self.scheduler.now)
+                    return
+                if isinstance(condition, Deadline):
+                    condition.bind_clock(lambda: self.scheduler.now)
+                condition.arm(self)
+                self._current_cond = condition
+        finally:
+            self._advancing = False
+
+    @property
+    def busy(self) -> bool:
+        """True while a blocking operation is in progress."""
+        return self._current_op is not None and not self._current_op.done
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.pid!r})"

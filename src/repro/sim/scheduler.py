@@ -1,0 +1,163 @@
+"""Virtual-time discrete-event scheduler.
+
+The scheduler is the heart of the deterministic substrate: every message
+delivery, timer expiry and fault injection is an event on a single
+priority queue ordered by ``(time, sequence-number)``.  The secondary key
+makes the execution order total and deterministic even for simultaneous
+events — events scheduled earlier run earlier.
+
+The paper's model assumes processing takes zero time and only message
+transfers take time; we mirror that by running each event callback
+atomically at its scheduled instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from .errors import SchedulerError, SimulationLimitReached
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "callback", "args", "cancelled", "fired", "label")
+
+    def __init__(self, time: float, callback: Callable[..., Any],
+                 args: tuple, label: str = ""):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        return f"EventHandle(t={self.time}, {self.label!r}, {state})"
+
+
+class Scheduler:
+    """A deterministic virtual-time event loop.
+
+    Typical use::
+
+        sched = Scheduler()
+        sched.schedule(1.5, callback, arg1, arg2)
+        sched.run()          # until the queue drains
+        sched.now            # -> 1.5
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: List[_QueueEntry] = []
+        self._seq = itertools.count()
+        self.events_processed: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any, label: str = "") -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args, label=label)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any, label: str = "") -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute virtual time."""
+        if time < self.now:
+            raise SchedulerError(
+                f"cannot schedule at {time}, current time is {self.now}")
+        handle = EventHandle(time, callback, args, label=label)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
+        return handle
+
+    def pending_count(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the queue."""
+        return sum(1 for entry in self._queue if not entry.handle.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or ``None`` if drained."""
+        while self._queue and self._queue[0].handle.cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next event.  Returns False if the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self.now = entry.time
+            handle.fired = True
+            self.events_processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is passed, or the
+        event budget is exhausted.
+
+        ``max_events`` exhaustion raises :class:`SimulationLimitReached`;
+        reaching ``until`` or draining the queue returns normally.
+        """
+        budget = max_events
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            if budget is not None:
+                if budget <= 0:
+                    raise SimulationLimitReached(
+                        f"event budget exhausted at t={self.now}",
+                        self.events_processed, self.now)
+                budget -= 1
+            self.step()
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_events: int = 1_000_000) -> None:
+        """Run until ``predicate()`` is true (checked after every event).
+
+        Raises :class:`SimulationLimitReached` if the queue drains or the
+        budget runs out while the predicate is still false.
+        """
+        if predicate():
+            return
+        budget = max_events
+        while budget > 0:
+            if not self.step():
+                raise SimulationLimitReached(
+                    f"event queue drained at t={self.now} with predicate unmet",
+                    self.events_processed, self.now)
+            budget -= 1
+            if predicate():
+                return
+        raise SimulationLimitReached(
+            f"event budget exhausted at t={self.now} with predicate unmet",
+            self.events_processed, self.now)

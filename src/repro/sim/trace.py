@@ -1,0 +1,92 @@
+"""Structured execution traces.
+
+Every interesting occurrence in a run — message send/delivery, operation
+invocation/response, fault injection, timer expiry — is appended to a
+:class:`Trace` as a :class:`TraceEvent`.  The consistency checkers in
+``repro.checkers`` consume operation events; the remaining events exist for
+debugging and for the message-count statistics reported by the benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+# Event kinds (module-level constants rather than an Enum: traces are large
+# and string comparison keeps them cheap and printable).
+SEND = "send"
+DELIVER = "deliver"
+OP_INVOKE = "op_invoke"
+OP_RESPONSE = "op_response"
+FAULT = "fault"
+TIMER = "timer"
+BROADCAST = "broadcast"
+NOTE = "note"
+
+
+@dataclass
+class TraceEvent:
+    """One timestamped occurrence in a simulated execution."""
+
+    time: float
+    kind: str
+    process: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.detail.items())
+        return f"[{self.time:.4f}] {self.kind} @{self.process} {inner}"
+
+
+class Trace:
+    """An append-only log of :class:`TraceEvent` records.
+
+    Recording can be filtered by kind to keep long benchmark runs cheap:
+    ``Trace(record_kinds={OP_INVOKE, OP_RESPONSE, FAULT})`` drops per-message
+    events while still counting them.
+    """
+
+    def __init__(self, record_kinds: Optional[set] = None):
+        self.events: List[TraceEvent] = []
+        self.counts: Dict[str, int] = {}
+        self._record_kinds = record_kinds
+
+    def emit(self, time: float, kind: str, process: str, **detail: Any) -> None:
+        """Record (or at least count) an event."""
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if self._record_kinds is None or kind in self._record_kinds:
+            self.events.append(TraceEvent(time, kind, process, detail))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        return (event for event in self.events if event.kind == kind)
+
+    def by_process(self, process: str) -> Iterator[TraceEvent]:
+        return (event for event in self.events if event.process == process)
+
+    def where(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
+        return [event for event in self.events if predicate(event)]
+
+    def count(self, kind: str) -> int:
+        """Total number of events of ``kind`` (counted even if not recorded)."""
+        return self.counts.get(kind, 0)
+
+    def last_time(self) -> float:
+        return self.events[-1].time if self.events else 0.0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of (a prefix of) the trace."""
+        shown = self.events if limit is None else self.events[:limit]
+        lines = [repr(event) for event in shown]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Workload generation and canned end-to-end scenarios."""
+
+from .generators import (ClientDriver, OpSpec, ValueStream,
+                         alternating_schedule, burst_schedule)
+from .scenarios import ScenarioResult, run_mwmr_scenario, run_swsr_scenario
+
+__all__ = [
+    "ClientDriver", "OpSpec", "ScenarioResult", "ValueStream",
+    "alternating_schedule", "burst_schedule", "run_mwmr_scenario",
+    "run_swsr_scenario",
+]

@@ -1,0 +1,110 @@
+"""Workload generation: value streams, operation schedules, client drivers.
+
+The paper's clients are *sequential* (one operation at a time), so driving
+an operation schedule means queueing: a :class:`ClientDriver` starts each
+queued operation as soon as its time arrives **and** the client is free,
+preserving the intended order.
+
+Written values must be unique for the checkers to map reads back to writes;
+:class:`ValueStream` guarantees that.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from ..sim.process import OperationHandle, Process
+from ..sim.scheduler import Scheduler
+
+
+class ValueStream:
+    """Unique, human-readable written values: ``w0, w1, ...``."""
+
+    def __init__(self, prefix: str = "w"):
+        self.prefix = prefix
+        self._counter = 0
+
+    def next(self) -> str:
+        value = f"{self.prefix}{self._counter}"
+        self._counter += 1
+        return value
+
+    @property
+    def produced(self) -> int:
+        return self._counter
+
+
+class ClientDriver:
+    """Queues sequential operations on one client process.
+
+    ``driver.at(time, factory)`` arranges for ``factory()`` (which must
+    start an operation and return its handle) to run at virtual ``time`` —
+    or as soon after as the client is free.
+    """
+
+    def __init__(self, scheduler: Scheduler, process: Process):
+        self.scheduler = scheduler
+        self.process = process
+        self.handles: List[OperationHandle] = []
+        self.scheduled = 0
+        self._pending: Deque[Callable[[], OperationHandle]] = deque()
+
+    def at(self, time: float, factory: Callable[[], OperationHandle]) -> None:
+        self.scheduled += 1
+        self.scheduler.schedule_at(time, self._enqueue, factory,
+                                   label=f"driver:{self.process.pid}")
+
+    def _enqueue(self, factory: Callable[[], OperationHandle]) -> None:
+        self._pending.append(factory)
+        self._pump()
+
+    def _pump(self) -> None:
+        if not self._pending or self.process.busy:
+            return
+        factory = self._pending.popleft()
+        handle = factory()
+        self.handles.append(handle)
+        handle.on_done(lambda _handle: self._pump())
+
+    @property
+    def all_done(self) -> bool:
+        return (len(self.handles) == self.scheduled
+                and not self._pending
+                and all(h.done for h in self.handles))
+
+
+@dataclass
+class OpSpec:
+    """One scheduled operation in a declarative workload."""
+
+    time: float
+    kind: str                    # "write" | "read"
+    process: str                 # client pid (ignored for SWSR)
+    value: Optional[Any] = None  # for writes; None -> draw from the stream
+
+
+def alternating_schedule(start: float, count: int, gap: float,
+                         reader_offset: Optional[float] = None
+                         ) -> Tuple[List[float], List[float]]:
+    """Write times and read times, interleaved.
+
+    With the default offset (``gap / 2``) each read falls strictly between
+    two writes (sequential); a small offset creates read/write concurrency
+    (the regime where regular registers may show new/old inversions).
+    """
+    if reader_offset is None:
+        reader_offset = gap / 2
+    write_times = [start + i * gap for i in range(count)]
+    read_times = [t + reader_offset for t in write_times]
+    return write_times, read_times
+
+
+def burst_schedule(start: float, writes: int, reads: int,
+                   write_gap: float, read_gap: float) -> Tuple[List[float],
+                                                               List[float]]:
+    """A dense burst of writes with reads racing through it."""
+    write_times = [start + i * write_gap for i in range(writes)]
+    read_times = [start + i * read_gap for i in range(reads)]
+    return write_times, read_times

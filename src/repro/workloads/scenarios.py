@@ -1,0 +1,212 @@
+"""Canned end-to-end scenarios: one call = one experiment run.
+
+These are the workhorses behind the integration tests, the benchmark
+harness and the examples.  A scenario stands up a cluster, installs faults
+(transient bursts before τ_no_tr, Byzantine strategies throughout), drives
+a read/write workload, and returns the history plus stabilization report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..checkers.history import History
+from ..checkers.regularity import NO_INITIAL
+from ..checkers.stabilization import StabilizationReport, stabilization_report
+from ..faults.byzantine import strategy_factory
+from ..faults.transient import TransientFaultInjector
+from ..registers.bounded_seq import WsnConfig
+from ..registers.system import (Cluster, ClusterConfig, build_mwmr,
+                                build_swsr_atomic, build_swsr_regular)
+from ..sim.errors import SimulationLimitReached
+from .generators import ClientDriver, ValueStream, alternating_schedule
+
+
+@dataclass
+class ScenarioResult:
+    """Everything an experiment needs to report."""
+
+    cluster: Cluster
+    history: History
+    completed: bool                      # all operations terminated
+    report: Optional[StabilizationReport] = None
+    tau_no_tr: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def messages_sent(self) -> int:
+        return self.cluster.network.messages_sent
+
+
+def _install_byzantine(cluster: Cluster, byzantine: Optional[Dict[str, str]],
+                       byzantine_count: int, byzantine_strategy: str) -> None:
+    """Install strategies either from an explicit {server: name} map or
+
+    as ``byzantine_count`` servers all running ``byzantine_strategy``.
+    """
+    if byzantine:
+        for server_id, name in byzantine.items():
+            cluster.make_byzantine([server_id], strategy_factory(name, cluster))
+    elif byzantine_count > 0:
+        ids = cluster.server_ids[:byzantine_count]
+        cluster.make_byzantine(ids,
+                               strategy_factory(byzantine_strategy, cluster))
+
+
+def run_swsr_scenario(kind: str = "regular", n: int = 9, t: int = 1,
+                      seed: int = 0, synchronous: bool = False,
+                      transport: str = "direct",
+                      num_writes: int = 6, num_reads: int = 6,
+                      op_gap: float = 10.0,
+                      reader_offset: Optional[float] = None,
+                      corruption_times: Sequence[float] = (),
+                      corruption_fraction: float = 1.0,
+                      link_garbage: int = 0,
+                      byzantine: Optional[Dict[str, str]] = None,
+                      byzantine_count: int = 0,
+                      byzantine_strategy: str = "random-garbage",
+                      wsn_modulus: Optional[int] = None,
+                      initial: Any = "v_init",
+                      enforce_resilience: bool = True,
+                      max_events: int = 2_000_000,
+                      record_trace: bool = False) -> ScenarioResult:
+    """Run a full SWSR experiment (Figure 2/3/5 depending on flags).
+
+    * ``kind``: ``"regular"`` (Figure 2 / 5) or ``"atomic"`` (Figure 3).
+    * ``synchronous``: use the Appendix-A model (``t < n/3``).
+    * ``corruption_times``: transient bursts; the last one is τ_no_tr.
+      All server and client protocol variables are corrupted (fraction-
+      sampled) and, if ``link_garbage > 0``, garbage lands on every link.
+    * writes start after τ_no_tr (the paper's assumption (b)); reads are
+      offset by ``reader_offset`` (default ``op_gap / 2``: no concurrency).
+    """
+    config = ClusterConfig(
+        n=n, t=t, seed=seed, synchronous=synchronous, transport=transport,
+        enforce_resilience=enforce_resilience,
+        record_kinds=None if record_trace else set())
+    cluster = Cluster(config)
+    wsn_config = WsnConfig(wsn_modulus) if wsn_modulus else None
+    if kind == "regular":
+        writer, reader = build_swsr_regular(cluster, initial=initial)
+    elif kind == "atomic":
+        writer, reader = build_swsr_atomic(cluster, initial=initial,
+                                           config=wsn_config)
+    else:
+        raise ValueError(f"unknown register kind {kind!r}")
+
+    _install_byzantine(cluster, byzantine, byzantine_count,
+                       byzantine_strategy)
+
+    injector = TransientFaultInjector.for_cluster(cluster)
+    tau_no_tr = max(corruption_times) if corruption_times else 0.0
+    for time in corruption_times:
+        injector.at(time, lambda: injector.corrupt_all(
+            cluster.servers + [writer, reader], corruption_fraction))
+    if link_garbage > 0 and corruption_times:
+        first = min(corruption_times)
+        injector.at(first, lambda: injector.garbage_everywhere(
+            [writer.pid, reader.pid], cluster.server_ids,
+            per_link=link_garbage))
+
+    start = tau_no_tr + 1.0
+    write_times, read_times = alternating_schedule(
+        start, max(num_writes, num_reads), op_gap, reader_offset)
+    values = ValueStream()
+    writer_driver = ClientDriver(cluster.scheduler, writer)
+    reader_driver = ClientDriver(cluster.scheduler, reader)
+    for time in write_times[:num_writes]:
+        writer_driver.at(time, lambda: writer.write(values.next()))
+    for time in read_times[:num_reads]:
+        reader_driver.at(time, lambda: reader.read())
+
+    handles_of = lambda: writer_driver.handles + reader_driver.handles
+    completed = True
+    try:
+        cluster.scheduler.run_until(
+            lambda: (writer_driver.all_done and reader_driver.all_done),
+            max_events=max_events)
+    except SimulationLimitReached:
+        completed = False
+
+    history = History.from_handles(handles_of())
+    mode = "atomic" if kind == "atomic" else "regular"
+    report = None
+    if completed and history.reads():
+        report = stabilization_report(history, mode=mode, initial=initial,
+                                      tau_no_tr=tau_no_tr)
+    return ScenarioResult(cluster=cluster, history=history,
+                          completed=completed, report=report,
+                          tau_no_tr=tau_no_tr,
+                          extra={"writer": writer, "reader": reader,
+                                 "injector": injector})
+
+
+def run_mwmr_scenario(m: int = 3, n: int = 9, t: int = 1, seed: int = 0,
+                      ops_per_process: int = 2, op_gap: float = 40.0,
+                      stagger: float = 7.0,
+                      corruption_times: Sequence[float] = (),
+                      corruption_fraction: float = 0.3,
+                      byzantine_count: int = 0,
+                      byzantine_strategy: str = "random-garbage",
+                      seq_bound: int = 2 ** 64,
+                      k: Optional[int] = None,
+                      transport: str = "direct",
+                      enforce_resilience: bool = True,
+                      max_events: int = 6_000_000,
+                      concurrent: bool = False) -> ScenarioResult:
+    """Run a full MWMR experiment (Figure 4).
+
+    Each of the ``m`` processes alternates ``mwmr_write`` / ``mwmr_read``.
+    With ``concurrent=False`` the stagger spaces processes apart so most
+    operations are sequential; ``concurrent=True`` makes them collide.
+
+    ``corruption_fraction`` is deliberately partial by default: corrupting
+    *every* server copy of a register that is never written again leaves
+    its readers without any quorum — and the MWMR scan (Figure 4 line
+    01/09) runs *before* the write that would repair it, so full corruption
+    of all ``m`` registers deadlocks the construction.  This liveness
+    subtlety of the extended abstract is documented in EXPERIMENTS.md
+    (T4 notes) and demonstrated by
+    ``tests/test_registers_mwmr.py::TestLiveness``.
+    """
+    config = ClusterConfig(n=n, t=t, seed=seed, transport=transport,
+                           enforce_resilience=enforce_resilience,
+                           record_kinds=set())
+    cluster = Cluster(config)
+    register = build_mwmr(cluster, m, seq_bound=seq_bound, k=k)
+    _install_byzantine(cluster, None, byzantine_count, byzantine_strategy)
+
+    injector = TransientFaultInjector.for_cluster(cluster)
+    tau_no_tr = max(corruption_times) if corruption_times else 0.0
+    for time in corruption_times:
+        injector.at(time, lambda: injector.corrupt_all(
+            cluster.servers + register.processes,
+            fraction=corruption_fraction))
+
+    start = tau_no_tr + 1.0
+    values = ValueStream()
+    drivers = []
+    for index, process in enumerate(register.processes):
+        driver = ClientDriver(cluster.scheduler, process)
+        drivers.append(driver)
+        offset = 0.0 if concurrent else index * stagger
+        for round_index in range(ops_per_process):
+            base = start + offset + round_index * op_gap
+            driver.at(base, lambda p=process: p.mwmr_write(values.next()))
+            driver.at(base + op_gap / 2, lambda p=process: p.mwmr_read())
+
+    completed = True
+    try:
+        cluster.scheduler.run_until(
+            lambda: all(driver.all_done for driver in drivers),
+            max_events=max_events)
+    except SimulationLimitReached:
+        completed = False
+
+    handles = [handle for driver in drivers for handle in driver.handles]
+    history = History.from_handles(handles)
+    return ScenarioResult(cluster=cluster, history=history,
+                          completed=completed, tau_no_tr=tau_no_tr,
+                          extra={"register": register,
+                                 "injector": injector})

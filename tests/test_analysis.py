@@ -1,0 +1,65 @@
+"""Unit tests for result reporting helpers."""
+
+import pytest
+
+from repro.analysis.summary import Stats, rate, summarize
+from repro.analysis.tables import Table, series, verdict
+
+
+class TestTable:
+    def test_render_contains_all_cells(self):
+        table = Table("demo", ["n", "t", "ok"])
+        table.row(9, 1, True)
+        table.row(17, 2, False)
+        rendered = table.render()
+        assert "demo" in rendered
+        assert "9" in rendered and "17" in rendered
+        assert "yes" in rendered and "no" in rendered
+
+    def test_column_count_enforced(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.row(1)
+
+    def test_float_formatting(self):
+        table = Table("demo", ["x"])
+        table.row(3.14159)
+        assert "3.142" in table.render()
+
+    def test_alignment_widths(self):
+        table = Table("demo", ["col"])
+        table.row("very-long-value")
+        lines = table.render().splitlines()
+        assert len(lines[1]) == len("very-long-value")
+
+
+def test_series_rendering():
+    assert series("lat", [1.0, 2.5]) == "lat: 1.000, 2.500"
+
+
+def test_verdict():
+    assert verdict(True) == "HOLDS"
+    assert verdict(False) == "VIOLATED"
+    assert verdict(False, bad="BROKEN") == "BROKEN"
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.stdev == 1.0
+
+    def test_single_value(self):
+        stats = summarize([5.0])
+        assert stats.stdev == 0.0
+
+    def test_empty_returns_none(self):
+        assert summarize([]) is None
+
+
+def test_rate():
+    assert rate(1, 4) == 0.25
+    assert rate(0, 0) == 0.0

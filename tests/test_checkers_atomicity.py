@@ -1,0 +1,156 @@
+"""Unit tests for inversion detection and the linearizability search."""
+
+import pytest
+
+from repro.checkers.atomicity import (check_atomic_swsr, check_linearizable,
+                                      find_new_old_inversions, is_atomic_swsr)
+from repro.checkers.history import History
+
+
+def figure1_history():
+    """The exact scenario of the paper's Figure 1."""
+    history = History()
+    history.add("write", "w", "v0", 0.0, 1.0)
+    history.add("write", "w", "v1", 2.0, 10.0)   # long-running write
+    history.add("read", "r", "v1", 3.0, 4.0)     # returns the new value
+    history.add("read", "r", "v0", 5.0, 6.0)     # then the old one
+    return history
+
+
+class TestInversionDetection:
+    def test_figure1_inversion_detected(self):
+        inversions = find_new_old_inversions(figure1_history())
+        assert len(inversions) == 1
+        inversion = inversions[0]
+        assert inversion.first.value == "v1"
+        assert inversion.second.value == "v0"
+        assert inversion.first_write_index == 1
+        assert inversion.second_write_index == 0
+
+    def test_monotone_reads_clean(self):
+        history = History()
+        history.add("write", "w", "a", 0.0, 1.0)
+        history.add("write", "w", "b", 2.0, 3.0)
+        history.add("read", "r", "a", 0.5, 1.5)
+        history.add("read", "r", "b", 4.0, 5.0)
+        assert find_new_old_inversions(history) == []
+
+    def test_same_value_twice_not_inversion(self):
+        history = History()
+        history.add("write", "w", "a", 0.0, 1.0)
+        history.add("read", "r", "a", 2.0, 3.0)
+        history.add("read", "r", "a", 4.0, 5.0)
+        assert find_new_old_inversions(history) == []
+
+    def test_concurrent_reads_not_ordered(self):
+        """Only *sequential* read pairs can exhibit an inversion."""
+        history = History()
+        history.add("write", "w", "v0", 0.0, 1.0)
+        history.add("write", "w", "v1", 2.0, 10.0)
+        history.add("read", "r1", "v1", 3.0, 6.0)
+        history.add("read", "r2", "v0", 4.0, 7.0)  # overlaps the first read
+        assert find_new_old_inversions(history) == []
+
+    def test_unmapped_reads_skipped(self):
+        history = History()
+        history.add("write", "w", "a", 0.0, 1.0)
+        history.add("read", "r", "garbage", 2.0, 3.0)
+        history.add("read", "r", "a", 4.0, 5.0)
+        assert find_new_old_inversions(history) == []
+
+    def test_after_cutoff(self):
+        history = figure1_history()
+        assert find_new_old_inversions(history, after=4.5) == []
+
+    def test_multi_writer_rejected(self):
+        history = History()
+        history.add("write", "p1", "a", 0.0, 1.0)
+        history.add("write", "p2", "b", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            find_new_old_inversions(history)
+
+
+class TestAtomicSwsr:
+    def test_figure1_not_atomic_but_regular(self):
+        violations, inversions = check_atomic_swsr(figure1_history())
+        assert violations == []      # regular!
+        assert len(inversions) == 1  # but not atomic
+
+    def test_clean_history_atomic(self):
+        history = History()
+        history.add("write", "w", "a", 0.0, 1.0)
+        history.add("read", "r", "a", 2.0, 3.0)
+        assert is_atomic_swsr(history)
+
+
+class TestLinearizability:
+    def test_empty_history(self):
+        assert check_linearizable(History()).ok
+
+    def test_sequential_reads_after_writes(self):
+        history = History()
+        history.add("write", "p1", "a", 0.0, 1.0)
+        history.add("read", "p2", "a", 2.0, 3.0)
+        result = check_linearizable(history)
+        assert result.ok
+        assert [op.value for op in result.order] == ["a", "a"]
+
+    def test_stale_read_not_linearizable(self):
+        history = History()
+        history.add("write", "p1", "a", 0.0, 1.0)
+        history.add("write", "p1", "b", 2.0, 3.0)
+        history.add("read", "p2", "a", 4.0, 5.0)
+        assert not check_linearizable(history).ok
+
+    def test_concurrent_write_read_both_orders_ok(self):
+        history = History()
+        history.add("write", "p1", "a", 0.0, 1.0)
+        history.add("write", "p2", "b", 2.0, 8.0)
+        history.add("read", "p3", "a", 3.0, 4.0)   # write(b) not yet applied
+        assert check_linearizable(history).ok
+        history2 = History()
+        history2.add("write", "p1", "a", 0.0, 1.0)
+        history2.add("write", "p2", "b", 2.0, 8.0)
+        history2.add("read", "p3", "b", 3.0, 4.0)  # write(b) already applied
+        assert check_linearizable(history2).ok
+
+    def test_figure1_inversion_not_linearizable(self):
+        assert not check_linearizable(figure1_history(),
+                                      initial="v_init").ok
+
+    def test_initial_value_read(self):
+        history = History()
+        history.add("read", "p1", None, 0.0, 1.0)
+        assert check_linearizable(history, initial=None).ok
+        assert not check_linearizable(history, initial="set").ok
+
+    def test_multi_writer_interleaving(self):
+        history = History()
+        history.add("write", "p1", "a", 0.0, 5.0)
+        history.add("write", "p2", "b", 1.0, 6.0)
+        history.add("read", "p3", "a", 7.0, 8.0)   # b then a: fine
+        assert check_linearizable(history).ok
+
+    def test_cross_reader_disagreement_not_linearizable(self):
+        """Two sequential readers returning opposite orders."""
+        history = History()
+        history.add("write", "p1", "a", 0.0, 1.0)
+        history.add("write", "p2", "b", 2.0, 20.0)
+        history.add("read", "p3", "b", 3.0, 4.0)
+        history.add("read", "p4", "a", 5.0, 6.0)   # after p3's read: stale
+        assert not check_linearizable(history).ok
+
+    def test_witness_order_is_legal(self):
+        history = History()
+        history.add("write", "p1", "a", 0.0, 3.0)
+        history.add("read", "p2", "a", 1.0, 2.0)
+        result = check_linearizable(history)
+        assert result.ok
+        kinds = [op.kind for op in result.order]
+        assert kinds == ["write", "read"]
+
+    def test_register_filter(self):
+        history = History()
+        history.add("write", "p1", "a", 0.0, 1.0, register="x")
+        history.add("read", "p2", "stale", 2.0, 3.0, register="y")
+        assert check_linearizable(history, register="x").ok

@@ -1,0 +1,104 @@
+"""Unit tests for operation histories."""
+
+import pytest
+
+from repro.checkers.history import History, Operation
+from repro.sim.process import OperationHandle
+
+
+def test_add_and_query():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("read", "r", "a", 2.0, 3.0)
+    assert len(history.writes()) == 1
+    assert len(history.reads()) == 1
+
+
+def test_precedence_and_overlap():
+    first = Operation("write", "w", "a", 0.0, 1.0)
+    second = Operation("read", "r", "a", 2.0, 3.0)
+    overlapping = Operation("read", "r", "a", 0.5, 2.5)
+    assert first.precedes(second)
+    assert not second.precedes(first)
+    assert first.overlaps(overlapping)
+    assert overlapping.overlaps(second)
+
+
+def test_writes_sorted_by_invocation():
+    history = History()
+    history.add("write", "w", "b", 5.0, 6.0)
+    history.add("write", "w", "a", 1.0, 2.0)
+    assert [op.value for op in history.writes()] == ["a", "b"]
+
+
+def test_register_filter():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0, register="x")
+    history.add("write", "w", "b", 0.0, 1.0, register="y")
+    assert [op.value for op in history.writes("x")] == ["a"]
+    assert history.registers() == ["x", "y"]
+
+
+def test_writers_listing():
+    history = History()
+    history.add("write", "p1", "a", 0.0, 1.0)
+    history.add("write", "p2", "b", 2.0, 3.0)
+    assert history.writers() == ["p1", "p2"]
+
+
+def test_value_to_write_mapping():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("write", "w", "b", 2.0, 3.0)
+    mapping = history.value_to_write()
+    assert mapping["a"].invoke == 0.0
+    assert mapping["b"].invoke == 2.0
+
+
+def test_value_to_write_rejects_duplicates():
+    history = History()
+    history.add("write", "w", "same", 0.0, 1.0)
+    history.add("write", "w", "same", 2.0, 3.0)
+    with pytest.raises(ValueError):
+        history.value_to_write()
+
+
+def test_from_handles_skips_unfinished():
+    done = OperationHandle("write", "w", 0.0)
+    done.meta.update(kind="write", value="a", register="reg")
+    done._complete(None, 1.0)
+    pending = OperationHandle("write", "w", 2.0)
+    pending.meta.update(kind="write", value="b", register="reg")
+    history = History.from_handles([done, pending])
+    assert len(history) == 1
+
+
+def test_from_handles_read_value_is_result():
+    handle = OperationHandle("read", "r", 0.0)
+    handle.meta.update(kind="read", register="reg")
+    handle._complete("seen", 1.0)
+    history = History.from_handles([handle])
+    assert history.reads()[0].value == "seen"
+
+
+def test_non_register_handles_ignored():
+    handle = OperationHandle("misc", "p", 0.0)
+    handle._complete("x", 1.0)
+    history = History.from_handles([handle])
+    assert len(history) == 0
+
+
+def test_op_ids_assigned_sequentially():
+    history = History()
+    a = history.add("write", "w", "a", 0.0, 1.0)
+    b = history.add("read", "r", "a", 2.0, 3.0)
+    assert (a.op_id, b.op_id) == (0, 1)
+
+
+def test_format_is_chronological():
+    history = History()
+    history.add("read", "r", "b", 5.0, 6.0)
+    history.add("write", "w", "a", 0.0, 1.0)
+    lines = history.format().splitlines()
+    assert "write" in lines[0]
+    assert "read" in lines[1]

@@ -1,0 +1,121 @@
+"""Unit tests for the regular-register checker (hand-built histories)."""
+
+import pytest
+
+from repro.checkers.history import History
+from repro.checkers.regularity import (NO_INITIAL, allowed_values,
+                                       check_regularity, is_regular)
+
+
+def seq_history():
+    """w(a) [0,1]  r->a [2,3]  w(b) [4,5]  r->b [6,7] — fully sequential."""
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("read", "r", "a", 2.0, 3.0)
+    history.add("write", "w", "b", 4.0, 5.0)
+    history.add("read", "r", "b", 6.0, 7.0)
+    return history
+
+
+def test_sequential_history_is_regular():
+    assert is_regular(seq_history())
+
+
+def test_read_of_overwritten_value_flagged():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("write", "w", "b", 2.0, 3.0)
+    history.add("read", "r", "a", 4.0, 5.0)  # stale: must be b
+    violations = check_regularity(history)
+    assert len(violations) == 1
+    assert violations[0].returned == "a"
+    assert violations[0].allowed == {"b"}
+
+
+def test_read_of_never_written_value_flagged():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("read", "r", "ghost", 2.0, 3.0)
+    assert len(check_regularity(history)) == 1
+
+
+def test_concurrent_write_value_allowed():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("write", "w", "b", 2.0, 6.0)
+    history.add("read", "r", "b", 3.0, 4.0)  # overlaps write(b): fine
+    assert is_regular(history)
+
+
+def test_concurrent_read_may_also_return_previous():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("write", "w", "b", 2.0, 6.0)
+    history.add("read", "r", "a", 3.0, 4.0)  # last completed: also fine
+    assert is_regular(history)
+
+
+def test_two_concurrent_writes_both_allowed():
+    history = History()
+    history.add("write", "w", "a", 0.0, 10.0)
+    read = history.add("read", "r", "?", 1.0, 2.0)
+    allowed = allowed_values(history, read)
+    assert allowed == {"a"}
+
+
+def test_initial_value_used_before_first_write():
+    history = History()
+    history.add("read", "r", "init", 0.0, 1.0)
+    assert is_regular(history, initial="init")
+    assert not is_regular(history, initial="other")
+
+
+def test_unconstrained_read_skipped_without_initial():
+    history = History()
+    history.add("read", "r", "anything", 0.0, 1.0)
+    assert is_regular(history)  # no writes, no initial: unconstrained
+
+
+def test_after_cutoff_ignores_early_violations():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("read", "r", "garbage", 2.0, 3.0)   # dirty (pre-stab)
+    history.add("read", "r", "a", 10.0, 11.0)       # clean
+    assert not is_regular(history)
+    assert is_regular(history, after=5.0)
+
+
+def test_multi_writer_rejected():
+    history = History()
+    history.add("write", "p1", "a", 0.0, 1.0)
+    history.add("write", "p2", "b", 2.0, 3.0)
+    with pytest.raises(ValueError):
+        check_regularity(history)
+
+
+def test_per_register_checking():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0, register="x")
+    history.add("write", "w", "b", 0.0, 1.0, register="y")
+    history.add("read", "r", "a", 2.0, 3.0, register="x")
+    history.add("read", "r", "a", 2.0, 3.0, register="y")  # wrong register!
+    assert is_regular(history, register="x")
+    assert not is_regular(history, register="y")
+
+
+def test_new_old_inversion_is_still_regular():
+    """Figure 1's point: regularity does NOT forbid the inversion."""
+    history = History()
+    history.add("write", "w", "v0", 0.0, 1.0)
+    history.add("write", "w", "v1", 2.0, 10.0)      # long write
+    history.add("read", "r", "v1", 3.0, 4.0)        # new value
+    history.add("read", "r", "v0", 5.0, 6.0)        # old value again
+    assert is_regular(history)
+
+
+def test_violation_repr_readable():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("read", "r", "zzz", 2.0, 3.0)
+    violation = check_regularity(history)[0]
+    assert "zzz" in repr(violation)

@@ -1,0 +1,109 @@
+"""Unit tests for τ_stab measurement."""
+
+from repro.checkers.history import History
+from repro.checkers.stabilization import (find_tau_stab,
+                                          stabilization_report)
+
+
+def dirty_then_clean_history():
+    """Arbitrary reads before the first write, correct ones after."""
+    history = History()
+    history.add("read", "r", "garbage1", 1.0, 2.0)
+    history.add("read", "r", "garbage2", 3.0, 4.0)
+    history.add("write", "w", "a", 6.0, 7.0)
+    history.add("read", "r", "a", 8.0, 9.0)
+    history.add("write", "w", "b", 10.0, 11.0)
+    history.add("read", "r", "b", 12.0, 13.0)
+    return history
+
+
+def test_tau_stab_found_after_dirty_prefix():
+    # With an initial value constraint the garbage reads are violations.
+    tau = find_tau_stab(dirty_then_clean_history(), mode="regular",
+                        initial="init")
+    assert tau == 8.0  # invocation of the first clean read
+
+
+def test_tau_stab_zero_for_clean_history():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("read", "r", "a", 2.0, 3.0)
+    assert find_tau_stab(history, initial="init") == 0.0
+
+
+def test_tau_stab_none_when_never_stable():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("read", "r", "junk", 2.0, 3.0)
+    assert find_tau_stab(history, initial="init") is None
+
+
+def test_tau_stab_respects_tau_no_tr_floor():
+    history = History()
+    history.add("write", "w", "a", 5.0, 6.0)
+    history.add("read", "r", "a", 7.0, 8.0)
+    tau = find_tau_stab(history, initial="init", tau_no_tr=4.0)
+    assert tau == 4.0
+
+
+def test_empty_reads():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    assert find_tau_stab(history) == 0.0
+
+
+def test_report_fields():
+    # The dirty reads happen *before* tau_no_tr, so the execution is stable
+    # from tau_no_tr itself.
+    report = stabilization_report(dirty_then_clean_history(),
+                                  mode="regular", initial="init",
+                                  tau_no_tr=5.0)
+    assert report.stable
+    assert report.tau_1w == 7.0          # first write ends at 7
+    assert report.tau_stab == 5.0
+    assert report.total_reads == 4
+    assert report.dirty_reads == 2
+    assert report.stabilization_time == 0.0
+
+
+def test_report_fields_dirty_after_tau_no_tr():
+    # With tau_no_tr = 0 the garbage reads count: stabilization is measured
+    # at the first clean read's invocation.
+    report = stabilization_report(dirty_then_clean_history(),
+                                  mode="regular", initial="init",
+                                  tau_no_tr=0.0)
+    assert report.stable
+    assert report.tau_stab == 8.0
+    assert report.stabilization_time == 8.0
+
+
+def test_report_atomic_mode_counts_inversions():
+    history = History()
+    history.add("write", "w", "v0", 0.0, 1.0)
+    history.add("write", "w", "v1", 2.0, 10.0)
+    history.add("read", "r", "v1", 3.0, 4.0)
+    history.add("read", "r", "v0", 5.0, 6.0)   # inversion
+    history.add("read", "r", "v1", 11.0, 12.0)
+    regular = stabilization_report(history, mode="regular")
+    atomic = stabilization_report(history, mode="atomic")
+    assert regular.dirty_reads == 0       # regular semantics never violated
+    assert atomic.dirty_reads == 1        # the inverted (second) read
+    assert atomic.tau_stab is not None    # stabilizes once inversion passes
+
+
+def test_report_unstable_history():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("read", "r", "junk", 2.0, 3.0)
+    report = stabilization_report(history, initial="init")
+    assert not report.stable
+    assert report.tau_stab is None
+    assert report.stabilization_time is None
+
+
+def test_report_without_writes_after_tau():
+    history = History()
+    history.add("write", "w", "a", 0.0, 1.0)
+    history.add("read", "r", "a", 2.0, 3.0)
+    report = stabilization_report(history, tau_no_tr=5.0)
+    assert report.tau_1w is None

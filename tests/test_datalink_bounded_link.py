@@ -1,0 +1,84 @@
+"""Unit tests for bounded-capacity lossy channels."""
+
+import pytest
+
+from repro.datalink.bounded_link import BoundedCapacityLink
+from repro.sim.network import FixedDelay
+from repro.sim.scheduler import Scheduler
+
+
+def make_link(cap=2, delay=1.0):
+    scheduler = Scheduler()
+    received = []
+    link = BoundedCapacityLink(scheduler, "a", "b", cap,
+                               deliver=received.append,
+                               delay_model=FixedDelay(delay))
+    return scheduler, link, received
+
+
+def test_delivers_within_capacity():
+    scheduler, link, received = make_link(cap=3)
+    assert link.send("p1")
+    assert link.send("p2")
+    scheduler.run()
+    assert received == ["p1", "p2"]
+
+
+def test_drops_beyond_capacity():
+    scheduler, link, received = make_link(cap=2)
+    assert link.send("p1")
+    assert link.send("p2")
+    assert not link.send("p3")  # dropped
+    scheduler.run()
+    assert received == ["p1", "p2"]
+    assert link.dropped == 1
+
+
+def test_capacity_frees_after_delivery():
+    scheduler, link, received = make_link(cap=1)
+    link.send("p1")
+    scheduler.run()
+    assert link.send("p2")
+    scheduler.run()
+    assert received == ["p1", "p2"]
+
+
+def test_fifo_order():
+    scheduler, link, received = make_link(cap=5)
+    for index in range(5):
+        link.send(index)
+    scheduler.run()
+    assert received == list(range(5))
+
+
+def test_preload_fills_up_to_capacity():
+    scheduler, link, received = make_link(cap=2)
+    placed = link.preload(["g1", "g2", "g3"])
+    assert placed == 2
+    scheduler.run()
+    assert received == ["g1", "g2"]
+
+
+def test_counters():
+    scheduler, link, received = make_link(cap=1)
+    link.send("a")
+    link.send("b")  # dropped
+    scheduler.run()
+    assert link.offered == 2
+    assert link.delivered == 1
+    assert link.dropped == 1
+
+
+def test_invalid_capacity_rejected():
+    scheduler = Scheduler()
+    with pytest.raises(ValueError):
+        BoundedCapacityLink(scheduler, "a", "b", 0, deliver=lambda p: None)
+
+
+def test_in_flight_tracking():
+    scheduler, link, received = make_link(cap=3)
+    link.send("a")
+    link.send("b")
+    assert link.in_flight == 2
+    scheduler.run()
+    assert link.in_flight == 0

@@ -1,0 +1,39 @@
+"""Tests of the deterministic Figure-1 reproduction."""
+
+from repro.checkers.atomicity import check_linearizable
+from repro.experiments.figure1 import figure1_comparison, run_figure1
+
+
+def test_regular_register_shows_new_old_inversion():
+    result = run_figure1("regular")
+    assert result.first_read == "v1"
+    assert result.second_read == "v0"
+    assert result.inverted
+
+
+def test_inverted_history_is_not_linearizable():
+    result = run_figure1("regular")
+    assert not check_linearizable(result.history, initial="v_init").ok
+
+
+def test_atomic_register_eliminates_the_inversion():
+    result = run_figure1("atomic")
+    assert not result.inverted
+
+
+def test_atomic_history_linearizes():
+    result = run_figure1("atomic")
+    assert check_linearizable(result.history, initial="v_init").ok
+
+
+def test_comparison_pairs_both_kinds():
+    results = figure1_comparison()
+    assert results["regular"].inverted
+    assert not results["atomic"].inverted
+
+
+def test_inverted_reads_are_still_regular():
+    """Figure 1's caption: the inversion does not violate *regularity*."""
+    from repro.checkers.regularity import is_regular
+    result = run_figure1("regular")
+    assert is_regular(result.history, initial="v_init")

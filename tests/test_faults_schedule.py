@@ -1,0 +1,56 @@
+"""Unit tests for declarative fault plans."""
+
+from repro.faults.schedule import FaultPlan, transient_burst_plan
+from repro.faults.transient import TransientFaultInjector
+from repro.registers.system import Cluster, ClusterConfig, build_swsr_regular
+
+
+def make_cluster(seed=0):
+    cluster = Cluster(ClusterConfig(n=9, t=1, seed=seed))
+    build_swsr_regular(cluster, initial="v_init")
+    injector = TransientFaultInjector.for_cluster(cluster)
+    return cluster, injector
+
+
+def test_plan_tracks_tau_no_tr():
+    plan = FaultPlan()
+    plan.add(3.0, lambda: None)
+    plan.add(1.0, lambda: None)
+    assert plan.tau_no_tr == 3.0
+
+
+def test_plan_applies_actions_at_times():
+    cluster, injector = make_cluster()
+    fired = []
+    plan = FaultPlan()
+    plan.add(2.0, lambda: fired.append(cluster.scheduler.now))
+    plan.apply(cluster.scheduler)
+    cluster.run(until=5.0)
+    assert fired == [2.0]
+
+
+def test_burst_plan_corrupts_at_each_time():
+    cluster, injector = make_cluster()
+    plan = transient_burst_plan(injector, cluster.servers, times=[1.0, 2.0])
+    plan.apply(cluster.scheduler)
+    cluster.run(until=3.0)
+    assert injector.corruptions == 2 * 9 * 2  # two bursts, 9 servers, 2 vars
+
+
+def test_burst_plan_with_link_garbage():
+    cluster, injector = make_cluster()
+    plan = transient_burst_plan(
+        injector, cluster.servers, times=[1.0],
+        link_garbage={("w", "s1"): 2, ("s1", "r"): 1})
+    plan.apply(cluster.scheduler)
+    cluster.run(until=0.5)
+    before = cluster.scheduler.pending_count()
+    cluster.run(until=1.5)
+    assert injector.corruptions > 0
+
+
+def test_empty_burst_plan():
+    cluster, injector = make_cluster()
+    plan = transient_burst_plan(injector, cluster.servers, times=[])
+    assert plan.actions == []
+    assert plan.tau_no_tr == 0.0

@@ -1,0 +1,104 @@
+"""Unit tests for the transient-failure injector."""
+
+import pytest
+
+from repro.faults.transient import (TransientFaultInjector, garbage_message,
+                                    garbage_value)
+from repro.registers.system import Cluster, ClusterConfig, build_swsr_regular
+from repro.sim.random_source import RandomSource
+from repro.sim.trace import FAULT
+
+
+def make_cluster(seed=0):
+    cluster = Cluster(ClusterConfig(n=9, t=1, seed=seed))
+    writer, reader = build_swsr_regular(cluster, initial="v_init")
+    injector = TransientFaultInjector.for_cluster(cluster)
+    return cluster, writer, reader, injector
+
+
+def test_corrupt_var_changes_value():
+    cluster, writer, reader, injector = make_cluster()
+    server = cluster.servers[0]
+    before = server.automatons["reg"].last_val
+    injector.corrupt_var(server, "reg.last_val")
+    assert server.automatons["reg"].last_val != before
+
+
+def test_corrupt_process_touches_all_registered_vars():
+    cluster, writer, reader, injector = make_cluster()
+    server = cluster.servers[0]
+    touched = injector.corrupt_process(server)
+    assert set(touched) == {"reg.last_val", "reg.helping_val"}
+
+
+def test_corrupt_process_with_prefix_filter():
+    cluster, writer, reader, injector = make_cluster()
+    server = cluster.servers[0]
+    touched = injector.corrupt_process(server, prefix="reg.last")
+    assert touched == ["reg.last_val"]
+
+
+def test_corrupt_fraction_zero_is_noop():
+    cluster, writer, reader, injector = make_cluster()
+    server = cluster.servers[0]
+    before = server.automatons["reg"].last_val
+    touched = injector.corrupt_process(server, fraction=0.0)
+    assert touched == []
+    assert server.automatons["reg"].last_val == before
+
+
+def test_corrupt_all_counts():
+    cluster, writer, reader, injector = make_cluster()
+    count = injector.corrupt_all(cluster.servers)
+    assert count == 9 * 2
+
+
+def test_corruption_traced():
+    cluster, writer, reader, injector = make_cluster()
+    injector.corrupt_process(cluster.servers[0])
+    assert cluster.trace.count(FAULT) == 2
+
+
+def test_corruption_is_deterministic_per_seed():
+    def corrupted_value(seed):
+        cluster, writer, reader, injector = make_cluster(seed)
+        injector.corrupt_process(cluster.servers[0])
+        return cluster.servers[0].automatons["reg"].last_val
+
+    assert corrupted_value(5) == corrupted_value(5)
+
+
+def test_preload_link_garbage_schedules_messages():
+    cluster, writer, reader, injector = make_cluster()
+    before = cluster.scheduler.pending_count()
+    injector.preload_link_garbage("w", "s1", count=3)
+    assert cluster.scheduler.pending_count() == before + 3
+
+
+def test_garbage_everywhere_covers_all_links():
+    cluster, writer, reader, injector = make_cluster()
+    injector.garbage_everywhere(["w", "r"], cluster.server_ids, per_link=1)
+    # 2 clients x 9 servers x 2 directions = 36 messages
+    assert cluster.scheduler.pending_count() >= 36
+
+
+def test_burst_schedules_future_corruption():
+    cluster, writer, reader, injector = make_cluster()
+    injector.burst([1.0, 2.0], cluster.servers)
+    cluster.run(until=3.0)
+    assert injector.corruptions > 0
+
+
+def test_garbage_value_and_message_are_deterministic():
+    a = RandomSource(1).stream("g")
+    b = RandomSource(1).stream("g")
+    assert garbage_value(a) == garbage_value(b)
+    assert garbage_message(a) == garbage_message(b)
+
+
+def test_injector_without_network_rejects_link_ops():
+    cluster, writer, reader, injector = make_cluster()
+    bare = TransientFaultInjector(RandomSource(0).stream("x"),
+                                  cluster.trace, cluster.scheduler)
+    with pytest.raises(ValueError):
+        bare.preload_link_garbage("w", "s1")

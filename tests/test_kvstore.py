@@ -1,0 +1,87 @@
+"""Tests of the self-stabilizing Byzantine KV store facade."""
+
+import pytest
+
+from repro.faults.byzantine import strategy_factory
+from repro.faults.transient import TransientFaultInjector
+from repro.kvstore.store import StabilizingKVStore, build_kv_store
+from repro.registers.system import Cluster, ClusterConfig
+
+
+def test_put_get_roundtrip():
+    store = build_kv_store(seed=1)
+    store.put_sync("c1", "k", 42)
+    assert store.get_sync("c1", "k") == 42
+
+
+def test_cross_client_visibility():
+    store = build_kv_store(seed=2, client_count=3)
+    store.put_sync("c1", "k", "hello")
+    assert store.get_sync("c3", "k") == "hello"
+
+
+def test_independent_keys():
+    store = build_kv_store(seed=3)
+    store.put_sync("c1", "a", 1)
+    store.put_sync("c2", "b", 2)
+    assert store.get_sync("c1", "b") == 2
+    assert store.get_sync("c2", "a") == 1
+    assert store.keys == ["a", "b"]
+
+
+def test_overwrites_by_different_clients():
+    store = build_kv_store(seed=4)
+    store.put_sync("c1", "k", "first")
+    store.put_sync("c2", "k", "second")
+    assert store.get_sync("c1", "k") == "second"
+
+
+def test_get_of_missing_key_returns_none():
+    store = build_kv_store(seed=5)
+    assert store.get_sync("c1", "nothing") is None
+
+
+def test_unknown_client_rejected():
+    store = build_kv_store(seed=6)
+    with pytest.raises(KeyError):
+        store.put("ghost", "k", 1)
+
+
+def test_requires_at_least_one_client():
+    cluster = Cluster(ClusterConfig(n=9, t=1, seed=0))
+    with pytest.raises(ValueError):
+        StabilizingKVStore(cluster, client_count=0)
+
+
+def test_tolerates_byzantine_server():
+    store = build_kv_store(seed=7)
+    cluster = store.cluster
+    cluster.make_byzantine(["s4"],
+                           strategy_factory("random-garbage", cluster))
+    store.put_sync("c1", "k", "safe")
+    assert store.get_sync("c2", "k") == "safe"
+
+
+def test_recovers_after_partial_corruption():
+    store = build_kv_store(seed=8)
+    store.put_sync("c1", "k", "before")
+    injector = TransientFaultInjector.for_cluster(store.cluster)
+    injector.corrupt_all(store.cluster.servers, fraction=0.3)
+    store.put_sync("c1", "k", "after")
+    assert store.get_sync("c2", "k") == "after"
+
+
+def test_register_reuse_per_key():
+    store = build_kv_store(seed=9)
+    first = store.register_for("k")
+    second = store.register_for("k")
+    assert first is second
+
+
+def test_async_handles():
+    store = build_kv_store(seed=10)
+    put = store.put("c1", "k", 1)
+    store.cluster.run_ops([put])
+    get = store.get("c2", "k")
+    store.cluster.run_ops([get])
+    assert get.result == 1

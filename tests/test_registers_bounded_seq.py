@@ -1,0 +1,113 @@
+"""Tests for bounded sequence numbers and the clockwise-distance order."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.registers.bounded_seq import (DEFAULT_MODULUS, WsnConfig, cd_geq,
+                                         cd_gt, clockwise_distance, next_wsn)
+
+
+class TestClockwiseDistance:
+    def test_forward_distance(self):
+        assert clockwise_distance(2, 5, 10) == 3
+
+    def test_wrapping_distance(self):
+        assert clockwise_distance(8, 1, 10) == 3
+
+    def test_zero_distance(self):
+        assert clockwise_distance(4, 4, 10) == 0
+
+
+class TestCdOrder:
+    def test_simple_greater(self):
+        assert cd_gt(5, 2, 100)
+        assert not cd_gt(2, 5, 100)
+
+    def test_wraparound_greater(self):
+        # 1 is "after" 99 modulo 100: the writer wrapped around.
+        assert cd_gt(1, 99, 100)
+        assert not cd_gt(99, 1, 100)
+
+    def test_geq_includes_equality(self):
+        assert cd_geq(7, 7, 100)
+        assert not cd_gt(7, 7, 100)
+
+    def test_antisymmetry_strict(self):
+        for x in range(11):
+            for y in range(11):
+                if x != y:
+                    assert cd_gt(x, y, 11) != cd_gt(y, x, 11), (x, y)
+
+    def test_default_modulus_matches_paper(self):
+        assert DEFAULT_MODULUS == 2 ** 64 + 1
+        assert cd_gt(0, 2 ** 64, DEFAULT_MODULUS)  # wrap from max to 0
+
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=200)
+    def test_total_on_odd_modulus(self, x, y):
+        """With an odd modulus, any two distinct values are comparable."""
+        m = 101
+        if x != y:
+            assert cd_gt(x, y, m) or cd_gt(y, x, m)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=100)
+    def test_successor_is_greater_within_half_range(self, start):
+        m = 1001
+        value = start % m
+        assert cd_gt(next_wsn(value, m), value, m)
+
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=1, max_value=49))
+    @settings(max_examples=200)
+    def test_advancing_less_than_half_stays_greater(self, start, steps):
+        """Fewer than modulus/2 increments preserve >_cd — the
+
+        system-life-span property behind Lemma 13."""
+        m = 101
+        value = start % m
+        advanced = (value + steps) % m
+        assert cd_gt(advanced, value, m)
+
+
+class TestNextWsn:
+    def test_increments(self):
+        assert next_wsn(5, 100) == 6
+
+    def test_wraps(self):
+        assert next_wsn(99, 100) == 0
+
+    def test_paper_formula(self):
+        # line N1: wsn <- (wsn + 1) mod (2^64 + 1)
+        assert next_wsn(2 ** 64) == 0
+
+
+class TestWsnConfig:
+    def test_defaults(self):
+        config = WsnConfig()
+        assert config.modulus == DEFAULT_MODULUS
+
+    def test_system_life_span(self):
+        assert WsnConfig(11).system_life_span == 6
+        # paper: 2^63 + 1 writes for the default modulus (Lemma 13)
+        assert WsnConfig().system_life_span == 2 ** 63 + 1
+
+    def test_in_domain(self):
+        config = WsnConfig(10)
+        assert config.in_domain(0)
+        assert config.in_domain(9)
+        assert not config.in_domain(10)
+        assert not config.in_domain(-1)
+        assert not config.in_domain("junk")
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            WsnConfig(2)
+
+    def test_comparison_shortcuts(self):
+        config = WsnConfig(10)
+        assert config.gt(3, 1)
+        assert config.geq(3, 3)
+        assert config.next(9) == 0

@@ -1,0 +1,146 @@
+"""Tests for the bounded epoch labeling scheme of [1] (Section 5.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.registers.epochs import Epoch, EpochLabeling
+
+
+@st.composite
+def epochs(draw, k=3):
+    """Random valid epochs for parameter k."""
+    K = k * k + 1
+    s = draw(st.integers(min_value=1, max_value=K))
+    members = draw(st.sets(st.integers(min_value=1, max_value=K),
+                           min_size=k, max_size=k))
+    return Epoch(s, frozenset(members))
+
+
+class TestDomain:
+    def test_k_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            EpochLabeling(1)
+
+    def test_universe_size(self):
+        labeling = EpochLabeling(4)
+        assert labeling.K == 17
+
+    def test_initial_is_valid(self):
+        labeling = EpochLabeling(3)
+        assert labeling.is_valid(labeling.initial())
+
+    def test_random_epoch_is_valid(self):
+        labeling = EpochLabeling(3)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert labeling.is_valid(labeling.random_epoch(rng))
+
+    def test_invalid_shapes_rejected(self):
+        labeling = EpochLabeling(3)
+        assert not labeling.is_valid("garbage")
+        assert not labeling.is_valid(Epoch(0, frozenset({1, 2, 3})))
+        assert not labeling.is_valid(Epoch(1, frozenset({1, 2})))     # |A| != k
+        assert not labeling.is_valid(Epoch(1, frozenset({1, 2, 99})))  # out of X
+
+
+class TestOrder:
+    def test_greater_definition(self):
+        labeling = EpochLabeling(2)
+        older = Epoch(1, frozenset({4, 5}))
+        newer = Epoch(2, frozenset({1, 3}))
+        # newer > older: older.s=1 in newer.A, newer.s=2 not in older.A
+        assert labeling.greater(newer, older)
+        assert not labeling.greater(older, newer)
+
+    def test_incomparable_pair_exists(self):
+        labeling = EpochLabeling(2)
+        a = Epoch(1, frozenset({2, 3}))
+        b = Epoch(2, frozenset({1, 3}))
+        # each one's s is in the other's A: neither dominates
+        assert not labeling.greater(a, b)
+        assert not labeling.greater(b, a)
+
+    def test_geq_reflexive(self):
+        labeling = EpochLabeling(3)
+        epoch = labeling.initial()
+        assert labeling.geq(epoch, epoch)
+
+    @given(epochs(), epochs())
+    @settings(max_examples=200)
+    def test_antisymmetry(self, a, b):
+        labeling = EpochLabeling(3)
+        if a != b:
+            assert not (labeling.greater(a, b) and labeling.greater(b, a))
+
+    def test_max_epoch_when_dominant_exists(self):
+        labeling = EpochLabeling(2)
+        older = Epoch(1, frozenset({4, 5}))
+        newer = labeling.next_epoch([older])
+        assert labeling.max_epoch([older, newer]) == newer
+
+    def test_max_epoch_none_for_antichain(self):
+        labeling = EpochLabeling(2)
+        a = Epoch(1, frozenset({2, 3}))
+        b = Epoch(2, frozenset({1, 3}))
+        assert labeling.max_epoch([a, b]) is None
+
+    def test_max_epoch_singleton(self):
+        labeling = EpochLabeling(3)
+        epoch = labeling.initial()
+        assert labeling.max_epoch([epoch]) == epoch
+
+
+class TestNextEpoch:
+    @given(st.lists(epochs(), min_size=0, max_size=3))
+    @settings(max_examples=200)
+    def test_next_epoch_dominates_every_input(self, inputs):
+        """The central property: next_epoch(S) ≻ e for every e in S."""
+        labeling = EpochLabeling(3)
+        new = labeling.next_epoch(inputs)
+        assert labeling.is_valid(new)
+        for epoch in inputs:
+            assert labeling.greater(new, epoch)
+            assert not labeling.greater(epoch, new)
+
+    def test_next_epoch_of_duplicates(self):
+        labeling = EpochLabeling(3)
+        epoch = labeling.initial()
+        new = labeling.next_epoch([epoch, epoch, epoch])
+        assert labeling.greater(new, epoch)
+
+    def test_rejects_too_many_inputs(self):
+        labeling = EpochLabeling(2)
+        rng = random.Random(1)
+        three = [labeling.random_epoch(rng) for _ in range(3)]
+        with pytest.raises(ValueError):
+            labeling.next_epoch(three)
+
+    def test_deterministic(self):
+        labeling = EpochLabeling(3)
+        inputs = [labeling.initial()]
+        assert labeling.next_epoch(inputs) == labeling.next_epoch(inputs)
+
+    def test_chain_of_renewals_never_cycles_quickly(self):
+        """Repeated renewal keeps producing labels greater than the last.
+
+        (The scheme guarantees domination over the *inputs*; a long chain
+        exercises many distinct labels.)
+        """
+        labeling = EpochLabeling(3)
+        current = labeling.initial()
+        for _ in range(50):
+            new = labeling.next_epoch([current])
+            assert labeling.greater(new, current)
+            current = new
+
+    def test_escapes_adversarial_antichain(self):
+        """Renewal from an incomparable (corrupted) set dominates all of it."""
+        labeling = EpochLabeling(2)
+        a = Epoch(1, frozenset({2, 3}))
+        b = Epoch(2, frozenset({1, 3}))
+        new = labeling.next_epoch([a, b])
+        assert labeling.greater(new, a)
+        assert labeling.greater(new, b)

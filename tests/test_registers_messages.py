@@ -1,0 +1,39 @@
+"""Unit tests for protocol messages and the ⊥ marker."""
+
+import copy
+
+from repro.registers.messages import (BOT, AckRead, AckWrite, NewHelpVal,
+                                      Read, Write, _Bottom)
+
+
+def test_bot_is_singleton():
+    assert _Bottom() is BOT
+
+
+def test_bot_survives_copy():
+    assert copy.copy(BOT) is BOT
+    assert copy.deepcopy(BOT) is BOT
+
+
+def test_bot_repr():
+    assert repr(BOT) == "⊥"
+
+
+def test_bot_distinct_from_none_and_strings():
+    assert BOT is not None
+    assert BOT != "⊥"
+
+
+def test_messages_are_hashable_and_frozen():
+    write = Write("reg", "v")
+    assert hash(write) == hash(Write("reg", "v"))
+    ack = AckRead("reg", "a", BOT)
+    assert ack == AckRead("reg", "a", BOT)
+
+
+def test_message_fields():
+    assert Write("reg", 5).value == 5
+    assert NewHelpVal("reg", 5).value == 5
+    assert Read("reg", True).new_read
+    assert AckWrite("reg", BOT).helping_val is BOT
+    assert AckRead("reg", 1, 2).last_val == 1

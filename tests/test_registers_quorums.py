@@ -1,0 +1,97 @@
+"""Tests for quorum arithmetic and counting helpers."""
+
+import pytest
+
+from repro.registers.base import QuorumParams, first_k, value_with_quorum
+from repro.registers.messages import BOT
+
+
+class TestQuorumParams:
+    def test_async_resilience_bound(self):
+        assert QuorumParams(n=9, t=1).satisfies_resilience
+        assert not QuorumParams(n=8, t=1).satisfies_resilience
+        assert QuorumParams(n=17, t=2).satisfies_resilience
+        assert not QuorumParams(n=16, t=2).satisfies_resilience
+
+    def test_sync_resilience_bound(self):
+        assert QuorumParams(n=4, t=1, synchronous=True).satisfies_resilience
+        assert not QuorumParams(n=3, t=1, synchronous=True).satisfies_resilience
+        assert QuorumParams(n=7, t=2, synchronous=True).satisfies_resilience
+
+    def test_require_resilience_raises(self):
+        with pytest.raises(ValueError):
+            QuorumParams(n=8, t=1).require_resilience()
+        QuorumParams(n=9, t=1).require_resilience()  # no error
+
+    def test_async_quorum_sizes(self):
+        params = QuorumParams(n=9, t=1)
+        assert params.ack_quorum == 8        # n - t
+        assert params.value_quorum == 3      # 2t + 1
+        assert params.help_quorum == 5       # 4t + 1
+        assert params.sync_quorum == 7       # n - 2t
+
+    def test_sync_quorum_sizes(self):
+        params = QuorumParams(n=4, t=1, synchronous=True)
+        assert params.ack_quorum == 4        # all n
+        assert params.value_quorum == 2      # t + 1
+        assert params.help_quorum == 2       # t + 1
+
+    def test_zero_byzantine(self):
+        params = QuorumParams(n=3, t=0)
+        assert params.satisfies_resilience
+        assert params.value_quorum == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QuorumParams(n=0, t=0)
+        with pytest.raises(ValueError):
+            QuorumParams(n=5, t=-1)
+
+
+class TestValueWithQuorum:
+    def test_finds_quorum_value(self):
+        assert value_with_quorum(["a", "a", "a", "b"], 3) == "a"
+
+    def test_no_quorum_returns_none(self):
+        assert value_with_quorum(["a", "a", "b", "b"], 3) is None
+
+    def test_picks_most_common_when_several_qualify(self):
+        values = ["x"] * 5 + ["y"] * 3
+        assert value_with_quorum(values, 3) == "x"
+
+    def test_exclude_bot_skips_bottom(self):
+        values = [BOT] * 5 + ["w"] * 3
+        assert value_with_quorum(values, 3, exclude_bot=True) == "w"
+        assert value_with_quorum(values, 3, exclude_bot=False) is BOT
+
+    def test_exclude_bot_no_other_quorum(self):
+        values = [BOT] * 5 + ["w"] * 2
+        assert value_with_quorum(values, 3, exclude_bot=True) is None
+
+    def test_empty_input(self):
+        assert value_with_quorum([], 1) is None
+
+    def test_unhashable_safe_values_pairs(self):
+        values = [(1, "v")] * 3 + [(2, "w")]
+        assert value_with_quorum(values, 3) == (1, "v")
+
+    def test_unhashable_application_values(self):
+        """Register values may be dicts/lists (e.g. the KV store)."""
+        values = [{"role": "admin"}] * 3 + [{"role": "guest"}]
+        assert value_with_quorum(values, 3) == {"role": "admin"}
+        values = [[1, 2]] * 2 + [[3]]
+        assert value_with_quorum(values, 3) is None
+
+    def test_mixed_hashable_and_unhashable(self):
+        values = ["x", {"a": 1}, {"a": 1}, {"a": 1}]
+        assert value_with_quorum(values, 3) == {"a": 1}
+
+
+class TestFirstK:
+    def test_takes_first_in_insertion_order(self):
+        replies = {"s1": "a", "s2": "b", "s3": "c"}
+        assert first_k(replies, 2) == [("s1", "a"), ("s2", "b")]
+
+    def test_fewer_than_k(self):
+        replies = {"s1": "a"}
+        assert first_k(replies, 5) == [("s1", "a")]

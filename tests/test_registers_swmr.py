@@ -1,0 +1,104 @@
+"""Tests of the SWMR atomic register construction (Section 5.1)."""
+
+import pytest
+
+from repro.faults.byzantine import strategy_factory
+from repro.faults.transient import TransientFaultInjector
+from repro.registers.swmr import copy_reg_id
+from repro.registers.system import Cluster, ClusterConfig, build_swmr
+
+
+def make_system(reader_pids=("r1", "r2", "r3"), n=9, t=1, seed=0, **kwargs):
+    cluster = Cluster(ClusterConfig(n=n, t=t, seed=seed, **kwargs))
+    register = build_swmr(cluster, list(reader_pids), initial="v_init")
+    return cluster, register
+
+
+def run_op(cluster, handle, max_events=1_000_000):
+    cluster.run_ops([handle], max_events=max_events)
+    return handle.result
+
+
+class TestBasics:
+    def test_all_readers_see_written_value(self):
+        cluster, register = make_system()
+        run_op(cluster, register.write("shared"))
+        for reader_pid in ("r1", "r2", "r3"):
+            assert run_op(cluster, register.read(reader_pid)) == "shared"
+
+    def test_initial_value_visible_to_all(self):
+        cluster, register = make_system()
+        for reader_pid in ("r1", "r2", "r3"):
+            assert run_op(cluster, register.read(reader_pid)) == "v_init"
+
+    def test_copy_register_ids(self):
+        assert copy_reg_id("reg", "r2") == "reg/r2"
+
+    def test_servers_host_one_automaton_per_reader(self):
+        cluster, register = make_system()
+        for server in cluster.servers:
+            for reader_pid in ("r1", "r2", "r3"):
+                assert copy_reg_id("reg", reader_pid) in server.automatons
+
+    def test_write_updates_every_copy(self):
+        cluster, register = make_system()
+        run_op(cluster, register.write("x"))
+        cluster.run()
+        for server in cluster.servers:
+            for reader_pid in ("r1", "r2", "r3"):
+                automaton = server.automatons[copy_reg_id("reg", reader_pid)]
+                assert automaton.last_val == (1, "x")
+
+    def test_sequence_visible_in_order_per_reader(self):
+        cluster, register = make_system()
+        for value in ("a", "b", "c"):
+            run_op(cluster, register.write(value))
+            assert run_op(cluster, register.read("r1")) == value
+            assert run_op(cluster, register.read("r2")) == value
+
+
+class TestFaults:
+    def test_byzantine_server_tolerated(self):
+        cluster, register = make_system(seed=3)
+        cluster.make_byzantine(["s5"],
+                               strategy_factory("random-garbage", cluster))
+        run_op(cluster, register.write("safe"))
+        assert run_op(cluster, register.read("r2")) == "safe"
+
+    def test_recovers_from_corruption(self):
+        cluster, register = make_system(seed=4)
+        injector = TransientFaultInjector.for_cluster(cluster)
+        injector.corrupt_all(cluster.servers)
+        run_op(cluster, register.write("healed"))
+        for reader_pid in ("r1", "r2", "r3"):
+            assert run_op(cluster, register.read(reader_pid)) == "healed"
+
+    def test_per_reader_no_inversion(self):
+        """Each reader individually sees a monotone history."""
+        cluster, register = make_system(seed=5)
+        cluster.make_byzantine(["s1"],
+                               strategy_factory("inversion-attack", cluster))
+        seen = []
+        for value in ("a", "b", "c", "d"):
+            run_op(cluster, register.write(value))
+            seen.append(run_op(cluster, register.read("r1")))
+        assert seen == ["a", "b", "c", "d"]
+
+
+class TestConcurrency:
+    def test_two_readers_reading_concurrently(self):
+        cluster, register = make_system(seed=6)
+        run_op(cluster, register.write("base"))
+        first = register.read("r1")
+        second = register.read("r2")
+        cluster.run_ops([first, second])
+        assert first.result == "base"
+        assert second.result == "base"
+
+    def test_read_concurrent_with_write_returns_old_or_new(self):
+        cluster, register = make_system(seed=7)
+        run_op(cluster, register.write("old"))
+        write = register.write("new")
+        read = register.read("r3")
+        cluster.run_ops([write, read])
+        assert read.result in ("old", "new")

@@ -1,0 +1,166 @@
+"""Unit tests for the FIFO reliable network and delay models."""
+
+import pytest
+
+from repro.sim.errors import LinkError, UnknownProcessError
+from repro.sim.network import (AsyncDelay, FixedDelay, Network, ScriptedDelay,
+                               SyncDelay)
+from repro.sim.process import Process
+from repro.sim.random_source import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Trace
+
+
+class Recorder(Process):
+    """Test process that records delivered messages with timestamps."""
+
+    def __init__(self, pid, scheduler, trace):
+        super().__init__(pid, scheduler, trace)
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((self.scheduler.now, src, message))
+
+
+def make_network(delay=None, seed=0):
+    scheduler = Scheduler()
+    trace = Trace()
+    network = Network(scheduler, RandomSource(seed), trace,
+                      default_delay=delay or FixedDelay(1.0))
+    a = network.register(Recorder("a", scheduler, trace))
+    b = network.register(Recorder("b", scheduler, trace))
+    return network, scheduler, a, b
+
+
+def test_message_delivered_after_delay():
+    network, scheduler, a, b = make_network(FixedDelay(2.0))
+    network.send("a", "b", "hello")
+    scheduler.run()
+    assert b.received == [(2.0, "a", "hello")]
+
+
+def test_fifo_per_link_with_random_delays():
+    network, scheduler, a, b = make_network(AsyncDelay(0.1, 10.0))
+    for index in range(20):
+        network.send("a", "b", index)
+    scheduler.run()
+    assert [message for _, _, message in b.received] == list(range(20))
+
+
+def test_fifo_delivery_times_nondecreasing():
+    network, scheduler, a, b = make_network(AsyncDelay(0.1, 10.0))
+    for index in range(20):
+        network.send("a", "b", index)
+    scheduler.run()
+    times = [time for time, _, _ in b.received]
+    assert times == sorted(times)
+
+
+def test_reverse_direction_is_independent_link():
+    network, scheduler, a, b = make_network(FixedDelay(1.0))
+    network.send("a", "b", "ping")
+    network.send("b", "a", "pong")
+    scheduler.run()
+    assert a.received[0][2] == "pong"
+    assert b.received[0][2] == "ping"
+
+
+def test_unknown_destination_raises():
+    network, scheduler, a, b = make_network()
+    with pytest.raises(UnknownProcessError):
+        network.send("a", "ghost", "boo")
+
+
+def test_message_counters():
+    network, scheduler, a, b = make_network()
+    network.send("a", "b", 1)
+    network.send("a", "b", 2)
+    scheduler.run()
+    assert network.messages_sent == 2
+    assert network.messages_delivered == 2
+
+
+def test_preload_delivers_garbage_first():
+    network, scheduler, a, b = make_network(FixedDelay(5.0))
+    network.preload("a", "b", ["junk1", "junk2"], spread=0.5)
+    network.send("a", "b", "real")
+    scheduler.run()
+    assert [message for _, _, message in b.received] == \
+        ["junk1", "junk2", "real"]
+
+
+def test_sync_delay_respects_bound():
+    model = SyncDelay(bound=2.0)
+    rng = RandomSource(1).stream("x")
+    samples = [model.sample(rng) for _ in range(200)]
+    assert all(0 < sample <= 2.0 for sample in samples)
+    assert model.bound == 2.0
+
+
+def test_async_delay_has_no_known_bound():
+    model = AsyncDelay(0.1, 5.0)
+    assert model.bound is None
+    rng = RandomSource(1).stream("x")
+    samples = [model.sample(rng) for _ in range(200)]
+    assert all(0.1 <= sample <= 5.0 for sample in samples)
+
+
+def test_fixed_delay_validation():
+    with pytest.raises(LinkError):
+        FixedDelay(0.0)
+    with pytest.raises(LinkError):
+        SyncDelay(-1.0)
+    with pytest.raises(LinkError):
+        AsyncDelay(2.0, 1.0)
+
+
+def test_scripted_delay_sees_endpoints_and_message():
+    seen = []
+
+    def chooser(src, dst, message, rng):
+        seen.append((src, dst, message))
+        return 1.0
+
+    network, scheduler, a, b = make_network(ScriptedDelay(chooser))
+    network.send("a", "b", "probe")
+    scheduler.run()
+    assert seen == [("a", "b", "probe")]
+
+
+def test_scripted_delay_builds_exact_schedules():
+    def chooser(src, dst, message, rng):
+        return 10.0 if message == "slow" else 1.0
+
+    network, scheduler, a, b = make_network(ScriptedDelay(chooser))
+    network.send("a", "b", "slow")
+    network.send("b", "a", "fast")
+    scheduler.run()
+    assert a.received[0][0] == 1.0
+    assert b.received[0][0] == 10.0
+
+
+def test_link_delay_model_override():
+    network, scheduler, a, b = make_network(FixedDelay(1.0))
+    network.link("a", "b", FixedDelay(7.0))
+    network.send("a", "b", "x")
+    scheduler.run()
+    assert b.received[0][0] == 7.0
+
+
+def test_deterministic_given_same_seed():
+    def run(seed):
+        network, scheduler, a, b = make_network(AsyncDelay(0.1, 3.0), seed)
+        for index in range(5):
+            network.send("a", "b", index)
+        scheduler.run()
+        return [time for time, _, _ in b.received]
+
+    assert run(42) == run(42)
+    assert run(42) != run(43)
+
+
+def test_connect_all_creates_bidirectional_links():
+    network, scheduler, a, b = make_network()
+    network.connect_all(["a"], ["b"])
+    assert ("a", "b") in network.links
+    assert ("b", "a") in network.links

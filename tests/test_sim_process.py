@@ -1,0 +1,267 @@
+"""Unit tests for processes, wait conditions and coroutine operations."""
+
+import pytest
+
+from repro.sim.errors import OperationError
+from repro.sim.process import (AllOf, AnyOf, Deadline, Predicate, Process,
+                               join_all)
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import OP_INVOKE, OP_RESPONSE, Trace
+
+
+def make_process(pid="p"):
+    scheduler = Scheduler()
+    trace = Trace()
+    return Process(pid, scheduler, trace), scheduler, trace
+
+
+def test_predicate_condition():
+    flag = []
+    cond = Predicate(lambda: bool(flag))
+    assert not cond.satisfied()
+    flag.append(1)
+    assert cond.satisfied()
+
+
+def test_anyof_and_allof():
+    yes = Predicate(lambda: True)
+    no = Predicate(lambda: False)
+    assert AnyOf(yes, no).satisfied()
+    assert not AnyOf(no, no).satisfied()
+    assert AllOf(yes, yes).satisfied()
+    assert not AllOf(yes, no).satisfied()
+
+
+def test_operation_runs_to_completion():
+    process, scheduler, _ = make_process()
+
+    def op():
+        yield Predicate(lambda: True)
+        return "done"
+
+    handle = process.start_operation("demo", op())
+    scheduler.run()
+    assert handle.done
+    assert handle.result == "done"
+
+
+def test_operation_result_before_completion_raises():
+    process, scheduler, _ = make_process()
+
+    def op():
+        yield Predicate(lambda: False)
+        return "never"
+
+    handle = process.start_operation("demo", op())
+    with pytest.raises(OperationError):
+        _ = handle.result
+
+
+def test_operation_blocks_until_condition():
+    process, scheduler, _ = make_process()
+    box = []
+
+    def op():
+        yield Predicate(lambda: bool(box))
+        return box[0]
+
+    handle = process.start_operation("demo", op())
+    scheduler.run()
+    assert not handle.done
+    box.append("late")
+    process.poll()
+    assert handle.done
+    assert handle.result == "late"
+
+
+def test_sequential_clients_reject_overlapping_ops():
+    process, scheduler, _ = make_process()
+
+    def op():
+        yield Predicate(lambda: False)
+
+    process.start_operation("first", op())
+    with pytest.raises(OperationError):
+        process.start_operation("second", op())
+
+
+def test_new_operation_allowed_after_completion():
+    process, scheduler, _ = make_process()
+
+    def op(result):
+        yield Predicate(lambda: True)
+        return result
+
+    first = process.start_operation("first", op(1))
+    scheduler.run()
+    second = process.start_operation("second", op(2))
+    scheduler.run()
+    assert first.result == 1
+    assert second.result == 2
+
+
+def test_deadline_wakes_process():
+    process, scheduler, _ = make_process()
+
+    def op():
+        yield Deadline(5.0)
+        return "woke"
+
+    handle = process.start_operation("sleep", op())
+    scheduler.run()
+    assert handle.done
+    assert scheduler.now == 5.0
+
+
+def test_anyof_deadline_vs_predicate():
+    process, scheduler, _ = make_process()
+    box = []
+
+    def op():
+        yield AnyOf(Predicate(lambda: bool(box)), Deadline(10.0))
+        return "done"
+
+    handle = process.start_operation("race", op())
+    scheduler.run(until=3.0)
+    assert not handle.done
+    box.append(1)
+    process.poll()
+    assert handle.done
+    assert scheduler.now < 10.0
+
+
+def test_operation_trace_events():
+    process, scheduler, trace = make_process()
+
+    def op():
+        yield Predicate(lambda: True)
+        return 7
+
+    process.start_operation("traced", op())
+    scheduler.run()
+    assert trace.count(OP_INVOKE) == 1
+    assert trace.count(OP_RESPONSE) == 1
+
+
+def test_on_done_callback_fires():
+    process, scheduler, _ = make_process()
+    seen = []
+
+    def op():
+        yield Predicate(lambda: True)
+        return "x"
+
+    handle = process.start_operation("cb", op())
+    handle.on_done(lambda h: seen.append(h.result))
+    scheduler.run()
+    assert seen == ["x"]
+
+
+def test_on_done_after_completion_fires_immediately():
+    process, scheduler, _ = make_process()
+
+    def op():
+        yield Predicate(lambda: True)
+        return "x"
+
+    handle = process.start_operation("cb", op())
+    scheduler.run()
+    seen = []
+    handle.on_done(lambda h: seen.append(1))
+    assert seen == [1]
+
+
+def test_register_corruptible_attribute():
+    process, _, _ = make_process()
+    process.value = 10
+    process.register_corruptible("value", fuzz=lambda rng: 99)
+    var = process.corruptible["value"]
+    assert var.getter() == 10
+    var.setter(var.fuzz(None))
+    assert process.value == 99
+
+
+def test_register_corruptible_var_external_state():
+    process, _, _ = make_process()
+    box = {"v": 1}
+    process.register_corruptible_var(
+        "box.v", getter=lambda: box["v"],
+        setter=lambda value: box.__setitem__("v", value),
+        fuzz=lambda rng: -1)
+    var = process.corruptible["box.v"]
+    var.setter(var.fuzz(None))
+    assert box["v"] == -1
+
+
+def test_join_all_runs_children_to_completion():
+    process, scheduler, _ = make_process()
+    gates = [[], []]
+
+    def child(index):
+        yield Predicate(lambda: bool(gates[index]))
+        return index * 10
+
+    def parent():
+        results = yield from join_all(child(0), child(1))
+        return results
+
+    handle = process.start_operation("join", parent())
+    scheduler.run()
+    assert not handle.done
+    gates[1].append(1)
+    process.poll()
+    assert not handle.done
+    gates[0].append(1)
+    process.poll()
+    assert handle.done
+    assert handle.result == [0, 10]
+
+
+def test_join_all_with_instantly_done_children():
+    process, scheduler, _ = make_process()
+
+    def instant(value):
+        return value
+        yield  # pragma: no cover - makes it a generator
+
+    def parent():
+        results = yield from join_all(instant("a"), instant("b"))
+        return results
+
+    handle = process.start_operation("join", parent())
+    scheduler.run()
+    assert handle.result == ["a", "b"]
+
+
+def test_join_all_preserves_result_order():
+    process, scheduler, _ = make_process()
+    gate = []
+
+    def slow():
+        yield Predicate(lambda: bool(gate))
+        return "slow"
+
+    def fast():
+        yield Predicate(lambda: True)
+        return "fast"
+
+    def parent():
+        results = yield from join_all(slow(), fast())
+        return results
+
+    handle = process.start_operation("join", parent())
+    scheduler.run()
+    gate.append(1)
+    process.poll()
+    assert handle.result == ["slow", "fast"]
+
+
+def test_busy_property():
+    process, scheduler, _ = make_process()
+    assert not process.busy
+
+    def op():
+        yield Predicate(lambda: False)
+
+    process.start_operation("stuck", op())
+    assert process.busy

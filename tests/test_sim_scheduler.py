@@ -1,0 +1,177 @@
+"""Unit tests for the virtual-time event scheduler."""
+
+import pytest
+
+from repro.sim.errors import SchedulerError, SimulationLimitReached
+from repro.sim.scheduler import Scheduler
+
+
+def test_starts_at_time_zero():
+    assert Scheduler().now == 0.0
+
+
+def test_schedule_and_run_single_event():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(2.5, fired.append, "a")
+    sched.run()
+    assert fired == ["a"]
+    assert sched.now == 2.5
+
+
+def test_events_run_in_time_order():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(3.0, fired.append, "late")
+    sched.schedule(1.0, fired.append, "early")
+    sched.schedule(2.0, fired.append, "middle")
+    sched.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_simultaneous_events_run_in_schedule_order():
+    sched = Scheduler()
+    fired = []
+    for label in ("first", "second", "third"):
+        sched.schedule(1.0, fired.append, label)
+    sched.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_schedule_at_absolute_time():
+    sched = Scheduler()
+    fired = []
+    sched.schedule_at(4.0, fired.append, "x")
+    sched.run()
+    assert sched.now == 4.0
+    assert fired == ["x"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SchedulerError):
+        Scheduler().schedule(-1.0, lambda: None)
+
+
+def test_scheduling_in_the_past_rejected():
+    sched = Scheduler()
+    sched.schedule(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SchedulerError):
+        sched.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sched = Scheduler()
+    fired = []
+    handle = sched.schedule(1.0, fired.append, "nope")
+    handle.cancel()
+    sched.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent_and_safe_after_fire():
+    sched = Scheduler()
+    handle = sched.schedule(1.0, lambda: None)
+    sched.run()
+    handle.cancel()  # no error
+    assert handle.fired
+
+
+def test_events_can_schedule_more_events():
+    sched = Scheduler()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            sched.schedule(1.0, chain, depth + 1)
+
+    sched.schedule(1.0, chain, 0)
+    sched.run()
+    assert fired == [0, 1, 2, 3]
+    assert sched.now == 4.0
+
+
+def test_run_until_time_stops_early():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, "a")
+    sched.schedule(10.0, fired.append, "b")
+    sched.run(until=5.0)
+    assert fired == ["a"]
+    assert sched.now == 5.0
+    sched.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_event_budget_raises():
+    sched = Scheduler()
+    for _ in range(10):
+        sched.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationLimitReached):
+        sched.run(max_events=5)
+
+
+def test_run_until_predicate():
+    sched = Scheduler()
+    counter = []
+    for _ in range(10):
+        sched.schedule(1.0, counter.append, 1)
+    sched.run_until(lambda: len(counter) >= 4)
+    assert len(counter) == 4
+
+
+def test_run_until_predicate_already_true_is_noop():
+    sched = Scheduler()
+    sched.schedule(1.0, lambda: None)
+    sched.run_until(lambda: True)
+    assert sched.events_processed == 0
+
+
+def test_run_until_raises_when_queue_drains():
+    sched = Scheduler()
+    sched.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationLimitReached):
+        sched.run_until(lambda: False)
+
+
+def test_run_until_raises_on_budget():
+    sched = Scheduler()
+
+    def reschedule():
+        sched.schedule(1.0, reschedule)
+
+    sched.schedule(1.0, reschedule)
+    with pytest.raises(SimulationLimitReached):
+        sched.run_until(lambda: False, max_events=50)
+
+
+def test_peek_time_skips_cancelled():
+    sched = Scheduler()
+    handle = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert sched.peek_time() == 2.0
+
+
+def test_pending_count_excludes_cancelled():
+    sched = Scheduler()
+    keep = sched.schedule(1.0, lambda: None)
+    drop = sched.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sched.pending_count() == 1
+    assert keep.time == 1.0
+
+
+def test_events_processed_counter():
+    sched = Scheduler()
+    for _ in range(7):
+        sched.schedule(1.0, lambda: None)
+    sched.run()
+    assert sched.events_processed == 7
+
+
+def test_empty_run_returns_immediately():
+    sched = Scheduler()
+    sched.run()
+    assert sched.now == 0.0

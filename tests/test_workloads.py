@@ -1,0 +1,108 @@
+"""Unit tests for workload generators, drivers and scenarios."""
+
+import pytest
+
+from repro.checkers.atomicity import check_linearizable
+from repro.registers.system import Cluster, ClusterConfig, build_swsr_regular
+from repro.workloads.generators import (ClientDriver, ValueStream,
+                                        alternating_schedule, burst_schedule)
+from repro.workloads.scenarios import run_mwmr_scenario, run_swsr_scenario
+
+
+class TestValueStream:
+    def test_unique_increasing_values(self):
+        stream = ValueStream()
+        assert [stream.next() for _ in range(3)] == ["w0", "w1", "w2"]
+        assert stream.produced == 3
+
+    def test_custom_prefix(self):
+        stream = ValueStream(prefix="x")
+        assert stream.next() == "x0"
+
+
+class TestSchedules:
+    def test_alternating_default_offset_interleaves(self):
+        writes, reads = alternating_schedule(10.0, 3, 4.0)
+        assert writes == [10.0, 14.0, 18.0]
+        assert reads == [12.0, 16.0, 20.0]
+
+    def test_alternating_custom_offset(self):
+        writes, reads = alternating_schedule(0.0, 2, 10.0, reader_offset=1.0)
+        assert reads == [1.0, 11.0]
+
+    def test_burst_schedule(self):
+        writes, reads = burst_schedule(5.0, writes=3, reads=2,
+                                       write_gap=1.0, read_gap=2.0)
+        assert writes == [5.0, 6.0, 7.0]
+        assert reads == [5.0, 7.0]
+
+
+class TestClientDriver:
+    def test_sequentializes_overlapping_requests(self):
+        cluster = Cluster(ClusterConfig(n=9, t=1, seed=0))
+        writer, reader = build_swsr_regular(cluster, initial="i")
+        driver = ClientDriver(cluster.scheduler, writer)
+        # both scheduled at the same instant: must run one after the other
+        driver.at(1.0, lambda: writer.write("a"))
+        driver.at(1.0, lambda: writer.write("b"))
+        cluster.scheduler.run_until(lambda: driver.all_done,
+                                    max_events=500_000)
+        assert len(driver.handles) == 2
+        assert driver.handles[0].response_time <= driver.handles[1].invoke_time
+
+    def test_all_done_false_before_scheduling(self):
+        cluster = Cluster(ClusterConfig(n=9, t=1, seed=0))
+        writer, reader = build_swsr_regular(cluster, initial="i")
+        driver = ClientDriver(cluster.scheduler, writer)
+        driver.at(5.0, lambda: writer.write("later"))
+        assert not driver.all_done
+
+    def test_preserves_request_order(self):
+        cluster = Cluster(ClusterConfig(n=9, t=1, seed=0))
+        writer, reader = build_swsr_regular(cluster, initial="i")
+        driver = ClientDriver(cluster.scheduler, writer)
+        for value in ("a", "b", "c"):
+            driver.at(1.0, lambda v=value: writer.write(v))
+        cluster.scheduler.run_until(lambda: driver.all_done,
+                                    max_events=500_000)
+        metas = [handle.meta["value"] for handle in driver.handles]
+        assert metas == ["a", "b", "c"]
+
+
+class TestScenarios:
+    def test_swsr_scenario_reports(self):
+        result = run_swsr_scenario(num_writes=2, num_reads=2, seed=1)
+        assert result.completed
+        assert result.report is not None
+        assert result.messages_sent > 0
+        assert len(result.history.writes()) == 2
+        assert len(result.history.reads()) == 2
+
+    def test_swsr_scenario_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            run_swsr_scenario(kind="bogus")
+
+    def test_swsr_scenario_explicit_byzantine_map(self):
+        result = run_swsr_scenario(seed=2, num_writes=2, num_reads=2,
+                                   byzantine={"s3": "silent",
+                                              "s7": "stale"})
+        assert result.completed
+        assert result.cluster.byzantine_ids == ["s3", "s7"]
+
+    def test_mwmr_scenario_histories_linearize(self):
+        result = run_mwmr_scenario(m=2, seed=3, ops_per_process=1)
+        assert result.completed
+        assert check_linearizable(result.history).ok
+
+    def test_scenario_workload_starts_after_corruption(self):
+        result = run_swsr_scenario(seed=4, num_writes=2, num_reads=2,
+                                   corruption_times=(5.0,))
+        assert result.tau_no_tr == 5.0
+        first_op = min(op.invoke for op in result.history)
+        assert first_op > 5.0
+
+    def test_scenario_deterministic_per_seed(self):
+        a = run_swsr_scenario(seed=9, num_writes=2, num_reads=2)
+        b = run_swsr_scenario(seed=9, num_writes=2, num_reads=2)
+        assert a.history.format() == b.history.format()
+        assert a.messages_sent == b.messages_sent
