@@ -13,6 +13,14 @@ import pytest
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 
+#: fan-out width of the sweep-driven benches (CI sets it to the core count).
+SWEEP_WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+
+
+@pytest.fixture
+def sweep_workers():
+    return SWEEP_WORKERS
+
 
 def pytest_sessionstart(session):
     # start each harness run with a fresh results file

@@ -9,9 +9,8 @@ same attack.  Also sweeps seeds for a frequency statistic.
 import pytest
 
 from repro.analysis.tables import Table, verdict
-from repro.checkers.atomicity import find_new_old_inversions
 from repro.experiments.figure1 import run_figure1
-from repro.workloads.scenarios import run_swsr_scenario
+from repro.runner import SweepSpec, run_sweep
 
 
 def test_f1_deterministic_inversion(benchmark, report):
@@ -32,39 +31,30 @@ def test_f1_deterministic_inversion(benchmark, report):
     assert not atomic.inverted
 
 
-def test_f1_frequency_sweep(benchmark, report):
+def test_f1_frequency_sweep(benchmark, report, sweep_workers):
     """Randomized concurrency: how often do inversions appear per register?
 
     The regular register *may* invert (nondeterministic); the atomic one
     must never, across every seed.
     """
     seeds = list(range(8))
+    spec = SweepSpec(
+        name="f1b", scenario="swsr",
+        base={"n": 9, "t": 1, "num_writes": 5, "num_reads": 5,
+              "reader_offset": 0.2, "byzantine_count": 1,
+              "byzantine_strategy": "flip-flop"},
+        grid={"kind": ["regular", "atomic"], "seed": seeds},
+        seeds=None)
 
-    def run_pair(seed):
-        regular = run_swsr_scenario(
-            kind="regular", n=9, t=1, seed=seed, num_writes=5, num_reads=5,
-            reader_offset=0.2, byzantine_count=1,
-            byzantine_strategy="flip-flop")
-        atomic = run_swsr_scenario(
-            kind="atomic", n=9, t=1, seed=seed, num_writes=5, num_reads=5,
-            reader_offset=0.2, byzantine_count=1,
-            byzantine_strategy="flip-flop")
-        return regular, atomic
+    def hits(sweep, kind):
+        return sum(1 for cell in sweep.cells
+                   if cell.params["kind"] == kind and cell.completed
+                   and cell.counters["new_old_inversions"] > 0)
 
-    def sweep():
-        regular_hits = atomic_hits = 0
-        for seed in seeds:
-            regular, atomic = run_pair(seed)
-            if regular.completed and find_new_old_inversions(
-                    regular.history, after=regular.tau_no_tr):
-                regular_hits += 1
-            if atomic.completed and find_new_old_inversions(
-                    atomic.history, after=atomic.tau_no_tr):
-                atomic_hits += 1
-        return regular_hits, atomic_hits
-
-    regular_hits, atomic_hits = benchmark.pedantic(sweep, rounds=1,
-                                                   iterations=1)
+    sweep = benchmark.pedantic(lambda: run_sweep(spec,
+                                                 workers=sweep_workers),
+                               rounds=1, iterations=1)
+    regular_hits, atomic_hits = hits(sweep, "regular"), hits(sweep, "atomic")
     table = Table("F1b  inversion frequency over randomized runs "
                   f"({len(seeds)} seeds, flip-flop adversary, overlapping ops)",
                   ["register", "runs with inversion", "paper expectation",

@@ -9,36 +9,40 @@ completes with the first write after τ_no_tr, independent of severity.
 import pytest
 
 from repro.analysis.tables import Table
+from repro.runner import SweepSpec, run_sweep
 from repro.workloads.scenarios import run_swsr_scenario
 
 FRACTIONS = [0.25, 0.5, 0.75, 1.0]
 
 
-def _sweep(kind):
+def _sweep(kind, workers=1):
+    spec = SweepSpec(
+        name=f"p2-{kind}", scenario="swsr",
+        base={"kind": kind, "n": 9, "t": 1, "num_writes": 4, "num_reads": 4,
+              "corruption_times": [3.0], "link_garbage": 1,
+              "byzantine_count": 1},
+        grid={"corruption_fraction": FRACTIONS,
+              "seed": [600, 601, 602, 603]},
+        seeds=None)
+    sweep = run_sweep(spec, workers=workers)
     rows = []
     for fraction in FRACTIONS:
-        stab_times = []
-        dirty = 0
-        total = 0
-        for seed in range(4):
-            result = run_swsr_scenario(
-                kind=kind, n=9, t=1, seed=600 + seed, num_writes=4,
-                num_reads=4, corruption_times=(3.0,),
-                corruption_fraction=fraction, link_garbage=1,
-                byzantine_count=1)
-            assert result.completed
-            report_data = result.report
-            if report_data.stabilization_time is not None:
-                stab_times.append(report_data.stabilization_time)
-            dirty += report_data.dirty_reads
-            total += report_data.total_reads
+        cells = [cell for cell in sweep.cells
+                 if cell.params["corruption_fraction"] == fraction]
+        assert all(cell.completed for cell in cells)
+        stab_times = [cell.timings["stabilization_time"] for cell in cells
+                      if "stabilization_time" in cell.timings]
+        dirty = sum(cell.counters.get("dirty_reads", 0) for cell in cells)
+        total = sum(cell.counters["reads"] for cell in cells)
         average = sum(stab_times) / len(stab_times) if stab_times else None
         rows.append((fraction, average, dirty, total))
     return rows
 
 
-def test_p2a_regular_stabilization_vs_severity(benchmark, report):
-    rows = benchmark.pedantic(lambda: _sweep("regular"), rounds=1,
+def test_p2a_regular_stabilization_vs_severity(benchmark, report,
+                                               sweep_workers):
+    rows = benchmark.pedantic(lambda: _sweep("regular", sweep_workers),
+                              rounds=1,
                               iterations=1)
     table = Table("P2a  regular register: stabilization vs corruption "
                   "severity (4 seeds each)",
@@ -50,8 +54,10 @@ def test_p2a_regular_stabilization_vs_severity(benchmark, report):
     assert all(average is not None for _f, average, *_rest in rows)
 
 
-def test_p2b_atomic_stabilization_vs_severity(benchmark, report):
-    rows = benchmark.pedantic(lambda: _sweep("atomic"), rounds=1,
+def test_p2b_atomic_stabilization_vs_severity(benchmark, report,
+                                              sweep_workers):
+    rows = benchmark.pedantic(lambda: _sweep("atomic", sweep_workers),
+                              rounds=1,
                               iterations=1)
     table = Table("P2b  atomic register: stabilization vs corruption "
                   "severity (4 seeds each)",

@@ -9,6 +9,7 @@ strategy (quorum arithmetic fails).
 import pytest
 
 from repro.analysis.tables import Table, verdict
+from repro.runner import SweepSpec, run_sweep
 from repro.workloads.scenarios import run_swsr_scenario
 
 SETTINGS = [(9, 1), (17, 2), (25, 3)]
@@ -16,29 +17,35 @@ STRATEGIES = ["silent", "random-garbage", "stale", "equivocate",
               "inversion-attack"]
 
 
-def test_t1a_claims_matrix(benchmark, report):
-    def run_all():
-        rows = []
-        for n, t in SETTINGS:
-            for strategy in STRATEGIES:
-                result = run_swsr_scenario(
-                    kind="regular", n=n, t=t, seed=100 + n, num_writes=3,
-                    num_reads=3, byzantine_count=t,
-                    byzantine_strategy=strategy)
-                rows.append((n, t, strategy, result.completed,
-                             result.completed and result.report.stable))
-        return rows
+def _t1a_specs():
+    """One spec per (n, t) setting, sweeping the Byzantine strategy.
 
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    ``seeds=None`` keeps the harness's historical explicit seeds.
+    """
+    return [
+        SweepSpec(name=f"t1a-n{n:02d}", scenario="swsr",
+                  base={"kind": "regular", "n": n, "t": t, "seed": 100 + n,
+                        "num_writes": 3, "num_reads": 3,
+                        "byzantine_count": t},
+                  grid={"byzantine_strategy": STRATEGIES}, seeds=None)
+        for n, t in SETTINGS
+    ]
+
+
+def test_t1a_claims_matrix(benchmark, report, sweep_workers):
+    sweep = benchmark.pedantic(
+        lambda: run_sweep(_t1a_specs(), workers=sweep_workers),
+        rounds=1, iterations=1)
     table = Table("T1a  Theorem 1 matrix: liveness + eventual regularity "
                   "(async, t Byzantine of n)",
                   ["n", "t", "strategy", "terminates", "regular",
                    "verdict"])
-    for n, t, strategy, terminated, stable in rows:
-        table.row(n, t, strategy, terminated, stable,
-                  verdict(terminated and stable))
+    for cell in sweep.cells:
+        table.row(cell.params["n"], cell.params["t"],
+                  cell.params["byzantine_strategy"], cell.completed,
+                  cell.verdicts.get("stable", False), verdict(cell.ok))
     report(table.render())
-    assert all(terminated and stable for *_ignore, terminated, stable in rows)
+    assert sweep.all_ok
 
 
 def test_t1b_stabilization_after_corruption(benchmark, report):

@@ -7,32 +7,34 @@ far fewer servers (timeouts let clients wait for *all* correct servers).
 import pytest
 
 from repro.analysis.tables import Table, verdict
+from repro.runner import SweepSpec, run_sweep
 from repro.workloads.scenarios import run_swsr_scenario
 
 SYNC_SETTINGS = [(4, 1), (7, 2), (10, 3)]
 
 
-def test_t2_sync_claims_matrix(benchmark, report):
-    def run_all():
-        rows = []
-        for n, t in SYNC_SETTINGS:
-            for strategy in ("silent", "random-garbage", "stale"):
-                result = run_swsr_scenario(
-                    kind="regular", n=n, t=t, seed=200 + n,
-                    synchronous=True, num_writes=3, num_reads=3,
-                    byzantine_count=t, byzantine_strategy=strategy)
-                rows.append((n, t, strategy, result.completed,
-                             result.completed and result.report.stable))
-        return rows
-
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+def test_t2_sync_claims_matrix(benchmark, report, sweep_workers):
+    specs = [
+        SweepSpec(name=f"t2-n{n:02d}", scenario="swsr",
+                  base={"kind": "regular", "n": n, "t": t, "seed": 200 + n,
+                        "synchronous": True, "num_writes": 3, "num_reads": 3,
+                        "byzantine_count": t},
+                  grid={"byzantine_strategy": ["silent", "random-garbage",
+                                               "stale"]},
+                  seeds=None)
+        for n, t in SYNC_SETTINGS
+    ]
+    sweep = benchmark.pedantic(lambda: run_sweep(specs,
+                                                 workers=sweep_workers),
+                               rounds=1, iterations=1)
     table = Table("T2  Theorem 2 matrix: synchronous links, t < n/3",
                   ["n", "t", "strategy", "terminates", "regular", "verdict"])
-    for n, t, strategy, terminated, stable in rows:
-        table.row(n, t, strategy, terminated, stable,
-                  verdict(terminated and stable))
+    for cell in sweep.cells:
+        table.row(cell.params["n"], cell.params["t"],
+                  cell.params["byzantine_strategy"], cell.completed,
+                  cell.verdicts.get("stable", False), verdict(cell.ok))
     report(table.render())
-    assert all(terminated and stable for *_ignore, terminated, stable in rows)
+    assert sweep.all_ok
 
 
 def test_t2_resilience_gap(benchmark, report):

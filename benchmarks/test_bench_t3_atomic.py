@@ -8,40 +8,35 @@ more than system-life-span writes between two reads re-enables staleness.
 import pytest
 
 from repro.analysis.tables import Table, verdict
-from repro.checkers.atomicity import find_new_old_inversions
 from repro.registers.bounded_seq import WsnConfig
 from repro.registers.system import Cluster, ClusterConfig, build_swsr_atomic
+from repro.runner import SweepSpec, run_sweep
 from repro.workloads.scenarios import run_swsr_scenario
 
 ADVERSARIES = ["inversion-attack", "flip-flop", "stale", "random-garbage"]
 
 
-def test_t3a_no_inversions_matrix(benchmark, report):
-    def run_all():
-        rows = []
-        for strategy in ADVERSARIES:
-            result = run_swsr_scenario(
-                kind="atomic", n=9, t=1, seed=300, num_writes=5,
-                num_reads=5, reader_offset=0.2,
-                corruption_times=(2.0,), byzantine_count=1,
-                byzantine_strategy=strategy)
-            inversions = find_new_old_inversions(result.history,
-                                                 after=result.tau_no_tr)
-            rows.append((strategy, result.completed,
-                         result.report.stable if result.report else False,
-                         len(inversions)))
-        return rows
-
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+def test_t3a_no_inversions_matrix(benchmark, report, sweep_workers):
+    spec = SweepSpec(
+        name="t3a", scenario="swsr",
+        base={"kind": "atomic", "n": 9, "t": 1, "seed": 300,
+              "num_writes": 5, "num_reads": 5, "reader_offset": 0.2,
+              "corruption_times": [2.0], "byzantine_count": 1},
+        grid={"byzantine_strategy": ADVERSARIES}, seeds=None)
+    sweep = benchmark.pedantic(lambda: run_sweep(spec,
+                                                 workers=sweep_workers),
+                               rounds=1, iterations=1)
     table = Table("T3a  Theorem 3: eventual atomicity (n=9, t=1, "
                   "corruption at t=2.0, overlapping ops)",
                   ["adversary", "terminates", "atomic", "inversions",
                    "verdict"])
-    for strategy, terminated, stable, inversions in rows:
-        table.row(strategy, terminated, stable, inversions,
-                  verdict(terminated and stable and inversions == 0))
+    for cell in sweep.cells:
+        table.row(cell.params["byzantine_strategy"], cell.completed,
+                  cell.verdicts.get("stable", False),
+                  cell.counters.get("new_old_inversions", "-"),
+                  verdict(cell.ok))
     report(table.render())
-    assert all(r[1] and r[2] and r[3] == 0 for r in rows)
+    assert sweep.all_ok
 
 
 def test_t3b_system_life_span_caveat(benchmark, report):

@@ -1,7 +1,10 @@
 """Legacy entry point so ``pip install -e . --no-use-pep517`` works on
 
 environments whose setuptools lacks ``bdist_wheel`` (offline images).
-Package metadata lives in pyproject.toml.
+Package metadata — including the ``repro-sweep`` console script — lives in
+pyproject.toml; this shim only restates the package layout (restating
+``[project]`` fields like entry points here would clash with the static
+metadata under modern setuptools).
 """
 
 from setuptools import find_packages, setup

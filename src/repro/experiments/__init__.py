@@ -1,5 +1,7 @@
 """Scripted experiments reproducing the paper's figures and claims."""
 
-from .figure1 import Figure1Result, figure1_comparison, run_figure1
+from .figure1 import (Figure1Result, figure1_comparison, figure1_sweep,
+                      run_figure1)
 
-__all__ = ["Figure1Result", "figure1_comparison", "run_figure1"]
+__all__ = ["Figure1Result", "figure1_comparison", "figure1_sweep",
+           "run_figure1"]

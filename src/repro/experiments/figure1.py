@@ -24,7 +24,7 @@ reader's ``(pwsn, pv)`` bookkeeping absorbing the attack: no inversion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Sequence
 
 from ..checkers.atomicity import find_new_old_inversions
 from ..checkers.history import History
@@ -83,6 +83,23 @@ class Figure1Result:
     def inverted(self) -> bool:
         return bool(self.inversions)
 
+    def summarize(self) -> Dict[str, Any]:
+        """Picklable reduction for sweep workers (``repro.runner``).
+
+        Same contract as ``ScenarioResult.summarize()``: plain scalars
+        only, deterministic, history reduced to a digest.
+        """
+        from ..workloads.scenarios import history_digest
+        return {
+            "kind": self.kind,
+            "first_read": repr(self.first_read),
+            "second_read": repr(self.second_read),
+            "inverted": self.inverted,
+            "inversions": len(self.inversions),
+            "ops": len(self.history),
+            "history_digest": history_digest(self.history),
+        }
+
 
 def run_figure1(kind: str = "regular", seed: int = 0) -> Figure1Result:
     """Run the Figure-1 schedule against a regular or atomic register."""
@@ -127,3 +144,19 @@ def run_figure1(kind: str = "regular", seed: int = 0) -> Figure1Result:
 def figure1_comparison(seed: int = 0) -> Dict[str, Figure1Result]:
     """The paper's figure and its resolution, side by side."""
     return {kind: run_figure1(kind, seed) for kind in ("regular", "atomic")}
+
+
+def figure1_sweep(seeds: Sequence[int] = (0,), workers: int = 1):
+    """Both register kinds across many seeds, via the parallel sweep runner.
+
+    Returns a :class:`repro.runner.SweepResult`; the regular cells are
+    expected to invert, the atomic cells must not (each cell's ``ok``
+    verdict encodes that expectation).
+    """
+    # imported here: repro.runner imports this module at load time.
+    from ..runner import SweepSpec, run_sweep
+    spec = SweepSpec(name="figure1", scenario="figure1",
+                     grid={"kind": ["regular", "atomic"],
+                           "seed": [int(seed) for seed in seeds]},
+                     seeds=None)
+    return run_sweep(spec, workers=workers)

@@ -18,7 +18,7 @@ server automatons:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..datalink.ss_broadcast import (DataLinkClientTransport,
                                      DirectClientTransport)
@@ -86,10 +86,12 @@ class Cluster:
         if config.enforce_resilience:
             self.params.require_resilience()
         self.servers: List[ServerProcess] = []
+        self._server_index: Dict[str, ServerProcess] = {}
         for index in range(config.n):
             server = ServerProcess(f"s{index + 1}", self.scheduler, self.trace)
             self.network.register(server)
             self.servers.append(server)
+            self._server_index[server.pid] = server
         self.clients: List[RegisterClientProcess] = []
 
     # -- accessors -----------------------------------------------------------
@@ -98,10 +100,10 @@ class Cluster:
         return [server.pid for server in self.servers]
 
     def server(self, pid: str) -> ServerProcess:
-        for candidate in self.servers:
-            if candidate.pid == pid:
-                return candidate
-        raise KeyError(f"no server {pid!r}")
+        try:
+            return self._server_index[pid]
+        except KeyError:
+            raise KeyError(f"no server {pid!r}") from None
 
     # -- clients --------------------------------------------------------------
     def make_client(self, pid: str) -> RegisterClientProcess:
@@ -121,9 +123,9 @@ class Cluster:
         if self.config.transport == "direct":
             return DirectClientTransport(process, self.server_ids, quorum)
         if self.config.transport == "datalink":
-            server_map = {server.pid: server for server in self.servers}
             return DataLinkClientTransport(
-                process, server_map, quorum, self.scheduler, self.randomness,
+                process, self._server_index, quorum, self.scheduler,
+                self.randomness,
                 cap=self.config.datalink_cap,
                 retry_interval=self.config.datalink_retry,
                 delay_model=FixedDelay(0.05))

@@ -1,0 +1,105 @@
+"""Aggregation of sweep cells into the existing ``analysis`` renderers.
+
+Two consumers:
+
+* :func:`aggregate` — the machine-readable roll-up embedded in the sweep
+  JSON document (per-scenario verdict counts plus message/event
+  statistics via :mod:`repro.analysis.summary`); deterministic, so it can
+  live inside the canonical output.
+* :func:`render_report` — the human-readable claims matrix built on
+  :class:`repro.analysis.tables.Table`, the same renderer the benchmark
+  harness prints into ``benchmarks/results.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+from ..analysis.summary import rate, summarize
+from ..analysis.tables import Table, verdict
+from .results import CellResult
+
+#: grid-ish parameters worth a column in the rendered matrix, in order.
+_PARAM_COLUMNS = ("kind", "n", "t", "m", "synchronous", "transport",
+                  "byzantine_strategy", "byzantine_count", "concurrent",
+                  "corruption_times")
+
+
+def _stats_dict(values: Sequence[float]) -> Dict[str, float]:
+    stats = summarize(values)
+    if stats is None:
+        return {}
+    return {"count": stats.count, "mean": stats.mean, "stdev": stats.stdev,
+            "min": stats.minimum, "max": stats.maximum}
+
+
+def aggregate(cells: Iterable[CellResult]) -> Dict[str, Any]:
+    """Deterministic per-scenario roll-up of a cell list."""
+    grouped: Dict[str, List[CellResult]] = {}
+    for cell in cells:
+        grouped.setdefault(cell.scenario, []).append(cell)
+    rollup: Dict[str, Any] = {}
+    for scenario in sorted(grouped):
+        members = grouped[scenario]
+        completed = [cell for cell in members if cell.completed]
+        ok = [cell for cell in members if cell.ok]
+        errors = [cell for cell in members if cell.error is not None]
+        messages = [cell.counters["messages_sent"] for cell in members
+                    if "messages_sent" in cell.counters]
+        events = [cell.counters["events_processed"] for cell in members
+                  if "events_processed" in cell.counters]
+        stab = [cell.timings["stabilization_time"] for cell in members
+                if "stabilization_time" in cell.timings]
+        rollup[scenario] = {
+            "cells": len(members),
+            "completed": len(completed),
+            "ok": len(ok),
+            "ok_rate": rate(len(ok), len(members)),
+            "errors": len(errors),
+            "messages_sent": _stats_dict(messages),
+            "events_processed": _stats_dict(events),
+            "stabilization_time": _stats_dict(stab),
+        }
+    return rollup
+
+
+def _param_columns(cells: Sequence[CellResult]) -> List[str]:
+    present = set()
+    for cell in cells:
+        present.update(cell.params)
+    return [name for name in _PARAM_COLUMNS if name in present]
+
+
+def verdict_table(title: str, cells: Sequence[CellResult]) -> Table:
+    """One row per cell: varied params, key verdicts, HOLDS/VIOLATED."""
+    params = _param_columns(cells)
+    extra_verdicts = sorted({name for cell in cells for name in cell.verdicts
+                             if name not in ("completed", "ok")})
+    table = Table(title, ["cell", *params, "completed", *extra_verdicts,
+                          "verdict"])
+    for cell in sorted(cells, key=lambda cell: cell.cell_id):
+        row = [cell.cell_id.rsplit("/", 1)[-1]]
+        row += [cell.params.get(name, "-") for name in params]
+        row.append(cell.completed)
+        row += [cell.verdicts.get(name, "-") for name in extra_verdicts]
+        row.append("ERROR" if cell.error is not None
+                   else verdict(cell.ok))
+        table.row(*row)
+    return table
+
+
+def render_report(sweep) -> str:
+    """The full human-readable sweep report (tables + roll-up lines)."""
+    sections = []
+    for scenario, cells in sorted(sweep.by_scenario().items()):
+        sections.append(verdict_table(
+            f"sweep [{scenario}]  {len(cells)} cells", cells).render())
+    rollup = aggregate(sweep.cells)
+    lines = []
+    for scenario in sorted(rollup):
+        entry = rollup[scenario]
+        lines.append(f"{scenario}: {entry['ok']}/{entry['cells']} ok, "
+                     f"{entry['completed']}/{entry['cells']} completed, "
+                     f"{entry['errors']} errors")
+    sections.append("\n".join(lines))
+    return "\n\n".join(sections)

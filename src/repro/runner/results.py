@@ -1,0 +1,89 @@
+"""Per-cell sweep results: compact, picklable, canonically serializable.
+
+A :class:`CellResult` is everything the parent process needs to know about
+one cell — never the cluster, never the history.  Its canonical dict/JSON
+rendering deliberately excludes wall-clock time (``wall_seconds`` stays on
+the object for operator reporting), so the serialized output of a sweep is
+bit-identical regardless of worker count, hardware or load.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class CellResult:
+    """Outcome of one sweep cell.
+
+    * ``verdicts`` — boolean claims about the execution.  Every scenario
+      adapter emits ``completed`` (all operations terminated) and ``ok``
+      (the paper-expected outcome for this cell held); scenario-specific
+      facts (``stable``, ``linearizable``, ``inverted``) ride along.
+    * ``counters`` — integer counts (messages, events, ops, corruptions).
+    * ``timings`` — *simulated*-time instants/durations only (τ timeline,
+      simulation end time); deterministic by construction.
+    * ``error`` — exception summary if the cell raised (budget exhaustion
+      inside a scenario is not an error: it surfaces as
+      ``completed=False``).
+    """
+
+    cell_id: str
+    scenario: str
+    params: Dict[str, Any]
+    seed: int
+    verdicts: Dict[str, bool] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    history_digest: str = ""
+    error: Optional[str] = None
+    #: wall-clock cost of running the cell; excluded from the canonical
+    #: rendering (it is the one nondeterministic measurement we keep).
+    wall_seconds: float = 0.0
+
+    @property
+    def completed(self) -> bool:
+        return bool(self.verdicts.get("completed", False))
+
+    @property
+    def ok(self) -> bool:
+        """Did the cell behave as the paper predicts (and not crash)?"""
+        return self.error is None and bool(self.verdicts.get("ok", False))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical (deterministic, JSON-ready) rendering."""
+        return {
+            "cell_id": self.cell_id,
+            "counters": dict(sorted(self.counters.items())),
+            "error": self.error,
+            "history_digest": self.history_digest,
+            "params": {key: self.params[key] for key in sorted(self.params)},
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "timings": dict(sorted(self.timings.items())),
+            "verdicts": dict(sorted(self.verdicts.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellResult":
+        return cls(cell_id=data["cell_id"], scenario=data["scenario"],
+                   params=dict(data.get("params") or {}),
+                   seed=int(data.get("seed", 0)),
+                   verdicts=dict(data.get("verdicts") or {}),
+                   counters=dict(data.get("counters") or {}),
+                   timings=dict(data.get("timings") or {}),
+                   history_digest=data.get("history_digest", ""),
+                   error=data.get("error"))
+
+
+def results_to_json(results: Sequence[CellResult]) -> str:
+    """Canonical JSON for a result list (sorted by cell id, sorted keys)."""
+    ordered = sorted(results, key=lambda result: result.cell_id)
+    return json.dumps([result.to_dict() for result in ordered],
+                      sort_keys=True, indent=2)
+
+
+def results_from_json(text: str) -> List[CellResult]:
+    return [CellResult.from_dict(entry) for entry in json.loads(text)]

@@ -2,10 +2,11 @@
 
 from .generators import (ClientDriver, OpSpec, ValueStream,
                          alternating_schedule, burst_schedule)
-from .scenarios import ScenarioResult, run_mwmr_scenario, run_swsr_scenario
+from .scenarios import (ScenarioResult, ScenarioSummary, history_digest,
+                        run_mwmr_scenario, run_swsr_scenario)
 
 __all__ = [
-    "ClientDriver", "OpSpec", "ScenarioResult", "ValueStream",
-    "alternating_schedule", "burst_schedule", "run_mwmr_scenario",
-    "run_swsr_scenario",
+    "ClientDriver", "OpSpec", "ScenarioResult", "ScenarioSummary",
+    "ValueStream", "alternating_schedule", "burst_schedule",
+    "history_digest", "run_mwmr_scenario", "run_swsr_scenario",
 ]

@@ -8,8 +8,9 @@ a read/write workload, and returns the history plus stabilization report.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..checkers.history import History
 from ..checkers.regularity import NO_INITIAL
@@ -21,6 +22,69 @@ from ..registers.system import (Cluster, ClusterConfig, build_mwmr,
                                 build_swsr_atomic, build_swsr_regular)
 from ..sim.errors import SimulationLimitReached
 from .generators import ClientDriver, ValueStream, alternating_schedule
+
+
+@dataclass(frozen=True)
+class ScenarioSummary:
+    """The picklable cross-process boundary of a scenario run.
+
+    A :class:`ScenarioResult` drags the whole :class:`Cluster` (scheduler,
+    network, live client processes) along — none of it picklable, all of it
+    useless to an aggregator.  ``ScenarioResult.summarize()`` reduces a run
+    to this flat record of verdicts, counters and τ-timings built from
+    plain ``str``/``int``/``float``/``bool`` values, which is what sweep
+    workers ship back to the parent process (see ``repro.runner``).
+
+    Contract for scenario authors: every field must stay picklable and
+    deterministic — derived from the simulated execution only, never from
+    wall-clock time, object identities or iteration order of unordered
+    containers.  ``history_digest`` fingerprints the full operation history
+    so determinism can be asserted without shipping the history itself.
+    """
+
+    completed: bool
+    tau_no_tr: float
+    ops: int
+    writes: int
+    reads: int
+    messages_sent: int
+    events_processed: int
+    sim_end: float
+    corruptions: int
+    history_digest: str
+    stable: Optional[bool] = None
+    tau_1w: Optional[float] = None
+    tau_stab: Optional[float] = None
+    stabilization_time: Optional[float] = None
+    dirty_reads: Optional[int] = None
+    total_reads: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict rendering (JSON-ready, stable key order)."""
+        return {
+            "completed": self.completed,
+            "corruptions": self.corruptions,
+            "dirty_reads": self.dirty_reads,
+            "events_processed": self.events_processed,
+            "history_digest": self.history_digest,
+            "messages_sent": self.messages_sent,
+            "ops": self.ops,
+            "reads": self.reads,
+            "sim_end": self.sim_end,
+            "stabilization_time": self.stabilization_time,
+            "stable": self.stable,
+            "tau_1w": self.tau_1w,
+            "tau_no_tr": self.tau_no_tr,
+            "tau_stab": self.tau_stab,
+            "total_reads": self.total_reads,
+            "writes": self.writes,
+        }
+
+
+def history_digest(history: History) -> str:
+    """A short, stable fingerprint of an operation history."""
+    rendering = history.format().encode("utf-8")
+    return hashlib.sha256(rendering).hexdigest()[:16]
 
 
 @dataclass
@@ -37,6 +101,48 @@ class ScenarioResult:
     @property
     def messages_sent(self) -> int:
         return self.cluster.network.messages_sent
+
+    def summarize(self) -> ScenarioSummary:
+        """Reduce to the compact, picklable record sweep workers return."""
+        injector = self.extra.get("injector")
+        report = self.report
+        return ScenarioSummary(
+            completed=self.completed,
+            tau_no_tr=self.tau_no_tr,
+            ops=len(self.history),
+            writes=len(self.history.writes()),
+            reads=len(self.history.reads()),
+            messages_sent=self.messages_sent,
+            events_processed=self.cluster.scheduler.events_processed,
+            sim_end=self.cluster.scheduler.now,
+            corruptions=injector.corruptions if injector else 0,
+            history_digest=history_digest(self.history),
+            stable=report.stable if report else None,
+            tau_1w=report.tau_1w if report else None,
+            tau_stab=report.tau_stab if report else None,
+            stabilization_time=(report.stabilization_time
+                                if report else None),
+            dirty_reads=report.dirty_reads if report else None,
+            total_reads=report.total_reads if report else None,
+        )
+
+
+def _burst_fractions(corruption_times: Sequence[float],
+                     corruption_fraction: Union[float, Sequence[float]]
+                     ) -> List[float]:
+    """Per-burst corruption fractions, broadcasting a scalar.
+
+    Passing a sequence gives each burst in ``corruption_times`` its own
+    severity (a *corruption schedule*); its length must match.
+    """
+    if isinstance(corruption_fraction, (int, float)):
+        return [float(corruption_fraction)] * len(corruption_times)
+    fractions = [float(fraction) for fraction in corruption_fraction]
+    if len(fractions) != len(corruption_times):
+        raise ValueError(
+            f"corruption_fraction sequence has {len(fractions)} entries "
+            f"for {len(corruption_times)} corruption times")
+    return fractions
 
 
 def _install_byzantine(cluster: Cluster, byzantine: Optional[Dict[str, str]],
@@ -61,7 +167,7 @@ def run_swsr_scenario(kind: str = "regular", n: int = 9, t: int = 1,
                       op_gap: float = 10.0,
                       reader_offset: Optional[float] = None,
                       corruption_times: Sequence[float] = (),
-                      corruption_fraction: float = 1.0,
+                      corruption_fraction: Union[float, Sequence[float]] = 1.0,
                       link_garbage: int = 0,
                       byzantine: Optional[Dict[str, str]] = None,
                       byzantine_count: int = 0,
@@ -100,9 +206,13 @@ def run_swsr_scenario(kind: str = "regular", n: int = 9, t: int = 1,
 
     injector = TransientFaultInjector.for_cluster(cluster)
     tau_no_tr = max(corruption_times) if corruption_times else 0.0
-    for time in corruption_times:
-        injector.at(time, lambda: injector.corrupt_all(
-            cluster.servers + [writer, reader], corruption_fraction))
+    # default-bind per-iteration values: ``lambda: ...fraction`` would make
+    # every burst use the *last* fraction (late-binding closure hazard).
+    fractions = _burst_fractions(corruption_times, corruption_fraction)
+    corruption_targets = cluster.servers + [writer, reader]
+    for time, fraction in zip(corruption_times, fractions):
+        injector.at(time, lambda fraction=fraction: injector.corrupt_all(
+            corruption_targets, fraction))
     if link_garbage > 0 and corruption_times:
         first = min(corruption_times)
         injector.at(first, lambda: injector.garbage_everywhere(
@@ -116,9 +226,9 @@ def run_swsr_scenario(kind: str = "regular", n: int = 9, t: int = 1,
     writer_driver = ClientDriver(cluster.scheduler, writer)
     reader_driver = ClientDriver(cluster.scheduler, reader)
     for time in write_times[:num_writes]:
-        writer_driver.at(time, lambda: writer.write(values.next()))
+        writer_driver.at(time, lambda w=writer: w.write(values.next()))
     for time in read_times[:num_reads]:
-        reader_driver.at(time, lambda: reader.read())
+        reader_driver.at(time, lambda r=reader: r.read())
 
     handles_of = lambda: writer_driver.handles + reader_driver.handles
     completed = True
@@ -146,7 +256,7 @@ def run_mwmr_scenario(m: int = 3, n: int = 9, t: int = 1, seed: int = 0,
                       ops_per_process: int = 2, op_gap: float = 40.0,
                       stagger: float = 7.0,
                       corruption_times: Sequence[float] = (),
-                      corruption_fraction: float = 0.3,
+                      corruption_fraction: Union[float, Sequence[float]] = 0.3,
                       byzantine_count: int = 0,
                       byzantine_strategy: str = "random-garbage",
                       seq_bound: int = 2 ** 64,
@@ -179,10 +289,12 @@ def run_mwmr_scenario(m: int = 3, n: int = 9, t: int = 1, seed: int = 0,
 
     injector = TransientFaultInjector.for_cluster(cluster)
     tau_no_tr = max(corruption_times) if corruption_times else 0.0
-    for time in corruption_times:
-        injector.at(time, lambda: injector.corrupt_all(
-            cluster.servers + register.processes,
-            fraction=corruption_fraction))
+    # bind per-burst fractions (see run_swsr_scenario: closure hazard).
+    fractions = _burst_fractions(corruption_times, corruption_fraction)
+    corruption_targets = cluster.servers + register.processes
+    for time, fraction in zip(corruption_times, fractions):
+        injector.at(time, lambda fraction=fraction: injector.corrupt_all(
+            corruption_targets, fraction=fraction))
 
     start = tau_no_tr + 1.0
     values = ValueStream()

@@ -1,0 +1,53 @@
+"""The CI pipeline definition must stay parseable and keep its gates."""
+
+import os
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = os.path.join(os.path.dirname(__file__), os.pardir,
+                        ".github", "workflows", "ci.yml")
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    with open(WORKFLOW, "r", encoding="utf-8") as handle:
+        return yaml.safe_load(handle)
+
+
+def test_workflow_parses_and_has_jobs(workflow):
+    assert set(workflow["jobs"]) == {"lint", "test"}
+    # "on" parses as YAML true; accept either spelling
+    assert True in workflow or "on" in workflow
+
+
+def test_matrix_covers_supported_pythons(workflow):
+    matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
+    assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+
+
+def test_pipeline_runs_tests_smoke_sweep_and_uploads(workflow):
+    steps = workflow["jobs"]["test"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert "python -m pytest" in runs
+    assert "python -m repro.runner --smoke" in runs
+    assert "--strict" in runs
+    uploads = [step for step in steps
+               if "upload-artifact" in step.get("uses", "")]
+    assert uploads, "artifact upload step missing"
+    assert "results.json" in uploads[0]["with"]["path"]
+    assert "benchmarks/results.txt" in uploads[0]["with"]["path"]
+
+
+def test_determinism_guard_compares_worker_counts(workflow):
+    steps = workflow["jobs"]["test"]["steps"]
+    guard = " ".join(step.get("run", "") for step in steps)
+    assert "--workers 1" in guard and "--workers 4" in guard
+    assert "cmp" in guard
+
+
+def test_lint_job_uses_ruff(workflow):
+    runs = " ".join(step.get("run", "")
+                    for step in workflow["jobs"]["lint"]["steps"])
+    assert "ruff check" in runs

@@ -1,0 +1,119 @@
+"""SweepSpec expansion, seed derivation and (de)serialization."""
+
+import pytest
+
+from repro.runner import SweepSpec, derive_seed, smoke_specs
+from repro.runner.spec import expand
+
+
+def _spec(**overrides):
+    kwargs = dict(name="s", scenario="swsr",
+                  base={"n": 9, "t": 1},
+                  grid={"kind": ["regular", "atomic"],
+                        "byzantine_count": [0, 1]},
+                  seeds=[0, 1, 2])
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestExpansion:
+    def test_cell_count_is_grid_product_times_seeds(self):
+        assert len(_spec().cells()) == 2 * 2 * 3
+
+    def test_expansion_is_deterministic(self):
+        first, second = _spec().cells(), _spec().cells()
+        assert [c.cell_id for c in first] == [c.cell_id for c in second]
+        assert [c.params for c in first] == [c.params for c in second]
+
+    def test_grid_order_is_canonical_not_declaration_order(self):
+        a = SweepSpec(name="s", scenario="swsr",
+                      grid={"b": [1], "a": [2]}).cells()
+        b = SweepSpec(name="s", scenario="swsr",
+                      grid={"a": [2], "b": [1]}).cells()
+        assert [c.params for c in a] == [c.params for c in b]
+
+    def test_base_applied_to_every_cell(self):
+        assert all(cell.params["n"] == 9 for cell in _spec().cells())
+
+    def test_cell_ids_unique_and_prefixed(self):
+        ids = [cell.cell_id for cell in _spec().cells()]
+        assert len(set(ids)) == len(ids)
+        assert all(cid.startswith("s/swsr/") for cid in ids)
+
+    def test_empty_grid_yields_base_cells(self):
+        spec = SweepSpec(name="s", scenario="swsr", base={"n": 9},
+                         seeds=[0, 1])
+        assert len(spec.cells()) == 2
+
+
+class TestSeeds:
+    def test_derived_seeds_are_stable(self):
+        params = {"n": 9, "kind": "regular"}
+        assert derive_seed("s", "swsr", params, 0) == \
+            derive_seed("s", "swsr", params, 0)
+
+    def test_derived_seeds_differ_across_replicates_and_params(self):
+        params = {"n": 9, "kind": "regular"}
+        assert derive_seed("s", "swsr", params, 0) != \
+            derive_seed("s", "swsr", params, 1)
+        assert derive_seed("s", "swsr", params, 0) != \
+            derive_seed("s", "swsr", {"n": 17, "kind": "regular"}, 0)
+
+    def test_seeds_none_keeps_explicit_seed(self):
+        spec = SweepSpec(name="s", scenario="swsr",
+                         base={"seed": 123}, grid={"kind": ["regular"]},
+                         seeds=None)
+        (cell,) = spec.cells()
+        assert cell.params["seed"] == 123
+
+    def test_replicates_get_distinct_derived_seeds(self):
+        cells = _spec().cells()
+        seeds = {cell.params["seed"] for cell in cells}
+        assert len(seeds) == len(cells)
+
+
+class TestValidation:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            SweepSpec(name="s", scenario="nope")
+
+    def test_empty_grid_axis_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SweepSpec(name="s", scenario="swsr", grid={"kind": []})
+
+    def test_duplicate_cell_ids_rejected_across_specs(self):
+        with pytest.raises(ValueError, match="duplicate cell id"):
+            expand([_spec(), _spec()])
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        spec = _spec()
+        (loaded,) = SweepSpec.from_json(spec.to_json())
+        assert loaded == spec
+        assert [c.params for c in loaded.cells()] == \
+            [c.params for c in spec.cells()]
+
+    def test_from_json_accepts_a_list(self):
+        text = "[" + _spec().to_json() + "]"
+        assert len(SweepSpec.from_json(text)) == 1
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(_spec().to_json(), encoding="utf-8")
+        (loaded,) = SweepSpec.load(str(path))
+        assert loaded == _spec()
+
+
+class TestSmokeSpecs:
+    def test_at_least_24_cells_spanning_swsr_and_mwmr(self):
+        cells = expand(smoke_specs())
+        assert len(cells) >= 24
+        scenarios = {cell.scenario for cell in cells}
+        assert {"swsr", "mwmr"} <= scenarios
+
+    def test_smoke_cells_have_unique_ids_and_seeds_assigned(self):
+        cells = expand(smoke_specs())
+        assert len({cell.cell_id for cell in cells}) == len(cells)
+        assert all("seed" in cell.params or cell.scenario == "figure1"
+                   for cell in cells)
