@@ -1,0 +1,68 @@
+"""Experiment F2 — a grid over adversary *shapes* via FaultTimeline.
+
+The declarative fault layer makes the adversary a sweep axis: this bench
+fans out partition-during-write and mobile-Byzantine-rotation cells
+through the runner (workers from ``REPRO_SWEEP_WORKERS``) and reports the
+cost each adversary exacts — dropped messages, corruptions, stabilization
+verdicts — alongside the paper-expected outcomes, which must all hold.
+"""
+
+from repro.analysis.tables import Table
+from repro.runner.engine import run_sweep
+from repro.runner.spec import SweepSpec
+
+
+def _adversary_specs():
+    partition = SweepSpec(
+        name="f2-partition", scenario="partition",
+        base={"n": 9, "t": 1, "num_writes": 6, "num_reads": 6},
+        grid={
+            "kind": ["regular", "atomic"],
+            "partition_duration": [10.0, 30.0],
+            "corruption_times": [[], [2.0]],
+        },
+        seeds=[0],
+    )
+    mobile = SweepSpec(
+        name="f2-mobile", scenario="mobile-byz",
+        base={"n": 9, "t": 1, "num_writes": 8, "num_reads": 8},
+        grid={
+            "kind": ["regular", "atomic"],
+            "rotations": [2, 4],
+            "rotation_strategy": ["random-garbage", "stale"],
+        },
+        seeds=[0],
+    )
+    return [partition, mobile]
+
+
+def test_f2_adversary_shape_grid(benchmark, report, sweep_workers):
+    sweep = benchmark.pedantic(
+        lambda: run_sweep(_adversary_specs(), workers=sweep_workers),
+        rounds=1, iterations=1)
+
+    table = Table("F2  adversary shapes: partition & mobile Byzantine "
+                  f"({len(sweep.cells)} cells, {sweep_workers} workers)",
+                  ["cell", "kind", "stable", "dropped", "corruptions",
+                   "ok"])
+    for cell in sweep.cells:
+        table.row(cell.cell_id.split("/")[0] + "/" + cell.cell_id[-2:],
+                  cell.params.get("kind", "regular"),
+                  cell.verdicts.get("stable"),
+                  cell.counters.get("messages_dropped", 0),
+                  cell.counters.get("corruptions", 0),
+                  cell.ok)
+    report(table.render())
+
+    # every adversary shape must terminate and stabilize
+    assert sweep.all_ok, [cell.cell_id for cell in sweep.not_ok()]
+    # partitions must actually cost messages
+    partition_cells = [cell for cell in sweep.cells
+                       if cell.scenario == "partition"]
+    assert any(cell.counters.get("messages_dropped", 0) > 0
+               for cell in partition_cells)
+    # rotations must actually corrupt recovering servers
+    mobile_cells = [cell for cell in sweep.cells
+                    if cell.scenario == "mobile-byz"]
+    assert all(cell.counters.get("corruptions", 0) > 0
+               for cell in mobile_cells)

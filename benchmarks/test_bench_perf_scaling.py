@@ -3,13 +3,35 @@
 The paper reports no numbers (theory only); these benches characterize the
 implementation so downstream users can size deployments: simulated
 operation latency, messages per operation, and the construction cost
-ladder (regular -> atomic -> SWMR -> MWMR).
+ladder (regular -> atomic -> SWMR -> MWMR) — plus the simulation-core
+throughput ladder across trace backends (P1d/P1e), whose events/sec
+numbers are persisted to ``BENCH_simcore.json`` so CI can track the perf
+trajectory from PR 2 onward.
 """
+
+import json
+import os
+import time
 
 import pytest
 
 from repro.analysis.tables import Table
+from repro.sim.network import AsyncDelay, Network
+from repro.sim.process import Process
+from repro.sim.random_source import RandomSource
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import build_trace
 from repro.workloads.scenarios import run_mwmr_scenario, run_swsr_scenario
+
+ARTIFACT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                             "BENCH_simcore.json")
+
+#: Hard events/sec thresholds (>=2x storm, >1.2x scenario) only apply when
+#: this is set — CI's dedicated perf-smoke job sets it.  The tier-1 test
+#: matrix also collects this file, and wall-clock ratios on noisy shared
+#: runners must not fail a correctness leg; there the test still measures,
+#: reports and writes the artifact, but only sanity-checks the ordering.
+PERF_GATE = bool(os.environ.get("REPRO_PERF_GATE"))
 
 
 def _op_latencies(history):
@@ -73,3 +95,136 @@ def test_p1c_single_write_latency(benchmark):
 
     result = benchmark(cycle)
     assert result.completed
+
+
+# ----------------------------------------------------------------------
+# P1d/P1e — simulation-core throughput across trace backends
+# ----------------------------------------------------------------------
+class _EchoProcess(Process):
+    """Relays every delivered message until the shared budget drains.
+
+    The relay chain exercises exactly the fused ``send -> schedule ->
+    _deliver`` path with no register protocol on top, so its events/sec is
+    the simulation core's ceiling.
+    """
+
+    def __init__(self, pid, scheduler, trace, peers, budget):
+        super().__init__(pid, scheduler, trace)
+        self.peers = peers
+        self.budget = budget
+
+    def on_message(self, src, message):
+        if self.budget[0] > 0:
+            self.budget[0] -= 1
+            self.send(self.peers[message % len(self.peers)], message + 1)
+
+
+def _message_storm(backend: str, n_procs: int = 10,
+                   messages: int = 30_000):
+    """Drive ``messages`` relayed sends; return (events/sec, events)."""
+    scheduler = Scheduler()
+    trace = build_trace(backend)
+    network = Network(scheduler, RandomSource(42), trace,
+                      default_delay=AsyncDelay(0.1, 2.0))
+    pids = [f"p{index}" for index in range(n_procs)]
+    budget = [messages]
+    for pid in pids:
+        network.register(_EchoProcess(pid, scheduler, trace, pids, budget))
+    for index, pid in enumerate(pids):
+        network.send(pid, pids[(index + 1) % n_procs], index)
+    started = time.perf_counter()
+    scheduler.run()
+    elapsed = time.perf_counter() - started
+    return scheduler.events_processed / elapsed, scheduler.events_processed
+
+
+def _best_of(runs, fn, *args):
+    best = 0.0
+    events = 0
+    for _ in range(runs):
+        rate, events = fn(*args)
+        best = max(best, rate)
+    return best, events
+
+
+def test_p1d_simcore_throughput_vs_trace_backend(report):
+    """The tentpole claim: the NullTrace fused delivery path must clear
+
+    at least twice the events/sec of the full-trace path (which still
+    runs the seed machinery: labelled, cancellable events plus recorded
+    SEND/DELIVER detail dicts).  Results land in ``BENCH_simcore.json``
+    so the perf trajectory is tracked across PRs.
+    """
+    rates = {}
+    events = 0
+    for backend in ("full", "counting", "null"):
+        rates[backend], events = _best_of(3, _message_storm, backend)
+
+    # end-to-end scenario throughput rides along for context: protocol
+    # work (quorums, coroutines) dilutes the substrate win here.
+    scenario_rates = {}
+    for backend in ("full", "null"):
+        def run_scenario(backend=backend):
+            started = time.perf_counter()
+            result = run_swsr_scenario(kind="regular", n=25, t=3, seed=7,
+                                       num_writes=12, num_reads=12,
+                                       trace_backend=backend)
+            elapsed = time.perf_counter() - started
+            processed = result.cluster.scheduler.events_processed
+            return processed / elapsed, processed
+        scenario_rates[backend], _ = _best_of(3, run_scenario)
+
+    table = Table("P1d  simulation-core throughput (events/sec)",
+                  ["workload", "backend", "events/sec", "vs full"])
+    for backend in ("full", "counting", "null"):
+        table.row("message storm", backend, int(rates[backend]),
+                  f"{rates[backend] / rates['full']:.2f}x")
+    for backend in ("full", "null"):
+        table.row("SWSR n=25 scenario", backend,
+                  int(scenario_rates[backend]),
+                  f"{scenario_rates[backend] / scenario_rates['full']:.2f}x")
+    report(table.render())
+
+    document = {
+        "bench": "test_p1d_simcore_throughput_vs_trace_backend",
+        "storm_events": events,
+        "events_per_sec": {key: round(value)
+                           for key, value in rates.items()},
+        "scenario_events_per_sec": {key: round(value)
+                                    for key, value in
+                                    scenario_rates.items()},
+        "speedup_null_vs_full": round(rates["null"] / rates["full"], 2),
+        "scenario_speedup_null_vs_full": round(
+            scenario_rates["null"] / scenario_rates["full"], 2),
+    }
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # correctness-matrix runs only check the artifact exists; any timing
+    # inequality, however generous, could flake a correctness leg.
+    assert os.path.exists(ARTIFACT_PATH)
+    if PERF_GATE:
+        assert rates["null"] >= 2.0 * rates["full"], (
+            f"NullTrace fast path must be >= 2x the full-trace path "
+            f"(got {rates['null'] / rates['full']:.2f}x)")
+        assert scenario_rates["null"] > 1.2 * scenario_rates["full"]
+
+
+def test_p1e_backends_agree_on_execution(report):
+    """Perf must not buy divergence: identical histories and counters
+
+    across backends for the same seeded scenario (the cheap in-bench
+    version of tests/test_trace_backends.py).
+    """
+    digests = {}
+    messages = {}
+    for backend in ("full", "counting", "null"):
+        result = run_swsr_scenario(kind="atomic", n=9, t=1, seed=77,
+                                   num_writes=4, num_reads=4,
+                                   corruption_times=[2.0],
+                                   trace_backend=backend)
+        digests[backend] = result.summarize().history_digest
+        messages[backend] = result.messages_sent
+    assert len(set(digests.values())) == 1
+    assert len(set(messages.values())) == 1

@@ -55,7 +55,7 @@ class BoundedCapacityLink:
             self.dropped += 1
             return False
         self.in_flight += 1
-        delay = self.delay_model.sample(self.rng)
+        delay = self.delay_model.sample(self.src, self.dst, packet, self.rng)
         delivery_time = max(self.scheduler.now + delay, self._last_delivery)
         self._last_delivery = delivery_time
         self.scheduler.schedule_at(delivery_time, self._arrive, packet,

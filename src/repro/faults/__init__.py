@@ -5,17 +5,22 @@ from .byzantine import (ByzantineStrategy, CollusionCoordinator,
                         FabricatedQuorumStrategy, FlipFlopStrategy,
                         InversionAttackStrategy, MobileByzantineController,
                         RandomGarbageStrategy, STRATEGY_FACTORIES,
-                        SilentStrategy, StaleReplyStrategy, strategy_factory)
-from .schedule import FaultAction, FaultPlan, transient_burst_plan
+                        SilentStrategy, StaleReplyStrategy,
+                        rotate_byzantine_set, strategy_factory)
+from .schedule import (EVENT_KINDS, FaultAction, FaultPlan, FaultTimeline,
+                       TimelineEvent, transient_burst_plan)
 from .transient import (TransientFaultInjector, garbage_message,
                         garbage_value)
 
 __all__ = [
     "ByzantineStrategy", "CollusionCoordinator", "CrashStrategy",
-    "EquivocateStrategy", "FabricatedQuorumStrategy", "FaultAction",
-    "FaultPlan", "FlipFlopStrategy", "InversionAttackStrategy",
-    "MobileByzantineController",
+    "EVENT_KINDS", "EquivocateStrategy", "FabricatedQuorumStrategy",
+    "FaultAction",
+    "FaultPlan", "FaultTimeline", "FlipFlopStrategy",
+    "InversionAttackStrategy",
+    "MobileByzantineController", "TimelineEvent",
     "RandomGarbageStrategy", "STRATEGY_FACTORIES", "SilentStrategy",
     "StaleReplyStrategy", "TransientFaultInjector", "garbage_message",
-    "garbage_value", "strategy_factory", "transient_burst_plan",
+    "garbage_value", "rotate_byzantine_set", "strategy_factory",
+    "transient_burst_plan",
 ]

@@ -263,6 +263,27 @@ def strategy_factory(name: str, cluster):
         raise ValueError(f"unknown Byzantine strategy {name!r}") from None
 
 
+def rotate_byzantine_set(cluster, injector: TransientFaultInjector,
+                         new_set: Sequence[str], strategy_factory,
+                         frozen: Sequence[str] = ()) -> List[str]:
+    """Move the Byzantine set to ``new_set``; returns the recovered pids.
+
+    Servers leaving the set become correct again with *arbitrary* local
+    state (corrupted through ``injector``) — the mobile-failure semantics
+    of footnote 1, shared by :class:`MobileByzantineController` and the
+    ``byzantine`` events of :class:`~repro.faults.schedule.FaultTimeline`.
+    ``frozen`` pids are left untouched even if currently faulty (e.g.
+    servers a timeline crashed, which only its ``recover`` event revives).
+    """
+    recovering = [pid for pid in cluster.byzantine_ids
+                  if pid not in new_set and pid not in frozen]
+    cluster.make_byzantine(recovering, None)
+    for pid in recovering:
+        injector.corrupt_process(cluster.server(pid))
+    cluster.make_byzantine(new_set, strategy_factory)
+    return recovering
+
+
 class MobileByzantineController:
     """Mobile Byzantine failures (footnote 1).
 
@@ -289,10 +310,5 @@ class MobileByzantineController:
                 time, self._rotate, list(byz_set), label="mobile-byz")
 
     def _rotate(self, new_set: List[str]) -> None:
-        recovering = [pid for pid in self.cluster.byzantine_ids
-                      if pid not in new_set]
-        # recovered servers are correct again, state arbitrary:
-        self.cluster.make_byzantine(recovering, None)
-        for pid in recovering:
-            self.injector.corrupt_process(self.cluster.server(pid))
-        self.cluster.make_byzantine(new_set, self.strategy_factory)
+        rotate_byzantine_set(self.cluster, self.injector, new_set,
+                             self.strategy_factory)

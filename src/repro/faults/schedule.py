@@ -1,19 +1,269 @@
-"""Declarative fault plans: what gets corrupted, when.
+"""Declarative fault timelines: what goes wrong, when — as data.
 
-A :class:`FaultPlan` bundles the τ-timeline of an experiment: transient
-bursts before ``tau_no_tr`` and nothing after, matching the paper's
-assumption that transient failures stop at a finite (unknown to the
-processes) time.
+Two layers live here:
+
+* :class:`FaultPlan` — the original imperative list of ``(time, callable)``
+  pairs, kept for hand-built experiments.
+* :class:`FaultTimeline` — a *declarative, serializable* adversary
+  description.  Every entry is a :class:`TimelineEvent` (time, kind,
+  JSON-able args); the timeline round-trips through ``to_dict`` /
+  ``from_dict`` so a :class:`~repro.runner.SweepSpec` can grid over
+  adversary shapes exactly like it grids over ``n`` or seeds.
+
+Supported event kinds
+---------------------
+``burst``           transient state corruption (Section 2.1): corrupt a
+                    fraction of the registered variables of the targets
+                    (``"servers"``, ``"clients"``, ``"all"`` or a pid list).
+``link-garbage``    arbitrary initial link content: ``per_link`` garbage
+                    messages on every client<->server link.
+``partition``       take every link between ``group`` and the rest down
+                    (messages sent meanwhile are dropped and counted).
+``heal``            bring those links back up.
+``crash``           the listed servers stop responding (crash faults).
+``recover``         crashed servers come back — with *arbitrary* local
+                    state unless ``corrupt`` is false, which is exactly
+                    the situation the stabilization property covers.
+``byzantine``       *mobile* Byzantine failures (footnote 1): the
+                    Byzantine set moves to ``servers`` (at most ``t``),
+                    running ``strategy``; servers leaving the set re-join
+                    the correct ones with corrupted state.
+
+τ timeline
+----------
+``tau_no_tr`` is the last instant of any *transient-style* event (burst,
+link garbage, partition/heal, crash/recover) — after it the paper's
+assumption "no more transient failures" holds.  Mobile Byzantine rotation
+is deliberately excluded: a moving Byzantine set of size ≤ t is a
+*permanent* adversary the constructions must tolerate, not a transient
+one.  ``last_event_time`` covers everything, for scenarios that want to
+judge reads only after the adversary stopped moving.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from .byzantine import (CrashStrategy, rotate_byzantine_set,
+                        strategy_factory)
 from .transient import TransientFaultInjector
 
+#: event kinds a timeline may contain (anything else is a spec error).
+EVENT_KINDS = ("burst", "link-garbage", "partition", "heal", "crash",
+               "recover", "byzantine")
 
+#: kinds that count towards τ_no_tr (see module docstring).
+_TRANSIENT_KINDS = frozenset(EVENT_KINDS) - {"byzantine"}
+
+
+class _TimelineCrash(CrashStrategy):
+    """Marker strategy for servers crashed by a ``crash`` event.
+
+    Only the matching ``recover`` event revives them: ``byzantine``
+    rotation events must not mistake a crashed server for a rotation
+    leaver and un-crash it early.
+    """
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One declarative fault occurrence: plain data, JSON-able args."""
+
+    time: float
+    kind: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown timeline event kind {self.kind!r} "
+                             f"(expected one of {EVENT_KINDS})")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": self.time, "kind": self.kind,
+                "args": {key: self.args[key] for key in sorted(self.args)}}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TimelineEvent":
+        return cls(time=float(data["time"]), kind=data["kind"],
+                   args=dict(data.get("args") or {}))
+
+
+class FaultTimeline:
+    """A serializable adversary: an ordered list of fault events.
+
+    Build fluently::
+
+        timeline = (FaultTimeline()
+                    .burst(2.0, fraction=0.5)
+                    .partition(10.0, 25.0, ["s1", "s2"])
+                    .byzantine(0.0, ["s1"], "random-garbage")
+                    .byzantine(30.0, ["s2"], "random-garbage"))
+
+    then ``timeline.install(cluster, injector)`` schedules every event on
+    the cluster's scheduler, or ``timeline.to_dict()`` ships it through a
+    sweep spec.
+    """
+
+    def __init__(self, events: Optional[Iterable[TimelineEvent]] = None):
+        self.events: List[TimelineEvent] = list(events or [])
+
+    # -- building ----------------------------------------------------------
+    def add(self, time: float, kind: str, **args: Any) -> "FaultTimeline":
+        self.events.append(TimelineEvent(time, kind, args))
+        return self
+
+    def burst(self, time: float, fraction: float = 1.0,
+              targets: Any = "all") -> "FaultTimeline":
+        return self.add(time, "burst", fraction=fraction, targets=targets)
+
+    def link_garbage(self, time: float, per_link: int = 1) -> "FaultTimeline":
+        return self.add(time, "link-garbage", per_link=per_link)
+
+    def partition(self, start: float, end: float,
+                  group: Sequence[str]) -> "FaultTimeline":
+        """Cut ``group`` off from the rest between ``start`` and ``end``."""
+        if end <= start:
+            raise ValueError(f"partition must heal after it starts "
+                             f"({start} .. {end})")
+        self.add(start, "partition", group=list(group))
+        return self.add(end, "heal", group=list(group))
+
+    def crash_recovery(self, start: float, end: float,
+                       servers: Sequence[str],
+                       corrupt: bool = True) -> "FaultTimeline":
+        """Crash ``servers`` at ``start``; recover them at ``end``."""
+        if end <= start:
+            raise ValueError(f"recovery must follow the crash "
+                             f"({start} .. {end})")
+        self.add(start, "crash", servers=list(servers))
+        return self.add(end, "recover", servers=list(servers),
+                        corrupt=corrupt)
+
+    def byzantine(self, time: float, servers: Sequence[str],
+                  strategy: str = "random-garbage") -> "FaultTimeline":
+        """Move the Byzantine set to ``servers`` at ``time`` (mobile)."""
+        return self.add(time, "byzantine", servers=list(servers),
+                        strategy=strategy)
+
+    def rotation(self, times: Sequence[float],
+                 sets: Sequence[Sequence[str]],
+                 strategy: str = "random-garbage") -> "FaultTimeline":
+        """One ``byzantine`` event per (time, server set) pair."""
+        if len(times) != len(sets):
+            raise ValueError("need one Byzantine set per rotation time")
+        for time, byz_set in zip(times, sets):
+            self.byzantine(time, byz_set, strategy)
+        return self
+
+    # -- τ timeline --------------------------------------------------------
+    @property
+    def tau_no_tr(self) -> float:
+        """Last transient-style event (mobile Byzantine excluded)."""
+        times = [event.time for event in self.events
+                 if event.kind in _TRANSIENT_KINDS]
+        return max(times) if times else 0.0
+
+    @property
+    def last_event_time(self) -> float:
+        return max((event.time for event in self.events), default=0.0)
+
+    # -- (de)serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultTimeline":
+        return cls(TimelineEvent.from_dict(entry)
+                   for entry in (data.get("events") or []))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, FaultTimeline)
+                and self.events == other.events)
+
+    # -- installation ------------------------------------------------------
+    def install(self, cluster, injector: TransientFaultInjector) -> None:
+        """Schedule every event on ``cluster``'s scheduler.
+
+        Interpretation is deferred to fire time (targets are resolved
+        against the then-current cluster membership), so a timeline can be
+        installed before clients attach.
+        """
+        # validate everything *before* scheduling anything: a rejected
+        # timeline must not leave a partial install behind on the live
+        # scheduler.
+        for event in self.events:
+            if event.kind == "byzantine" \
+                    and len(event.args.get("servers", ())) > cluster.params.t:
+                raise ValueError(
+                    f"Byzantine set {event.args['servers']} exceeds "
+                    f"t={cluster.params.t}")
+        # the scheduler's (time, seq) order already runs these in time
+        # order, same-time events in declaration order.
+        for event in self.events:
+            cluster.scheduler.schedule_at(
+                event.time, self._fire, cluster, injector, event,
+                label=f"timeline:{event.kind}")
+
+    # one dispatcher rather than per-kind closures: keeps installation
+    # allocation-light and the timeline trivially picklable.
+    @staticmethod
+    def _fire(cluster, injector: TransientFaultInjector,
+              event: TimelineEvent) -> None:
+        kind, args = event.kind, event.args
+        if kind == "burst":
+            targets = _resolve_targets(cluster, args.get("targets", "all"))
+            injector.corrupt_all(targets, float(args.get("fraction", 1.0)))
+        elif kind == "link-garbage":
+            injector.garbage_everywhere(
+                [client.pid for client in cluster.clients],
+                cluster.server_ids,
+                per_link=int(args.get("per_link", 1)))
+        elif kind == "partition":
+            cluster.network.set_partition(args["group"], up=False)
+        elif kind == "heal":
+            cluster.network.set_partition(args["group"], up=True)
+        elif kind == "crash":
+            cluster.make_byzantine(args["servers"],
+                                   lambda server: _TimelineCrash())
+        elif kind == "recover":
+            cluster.make_byzantine(args["servers"], None)
+            if args.get("corrupt", True):
+                for pid in args["servers"]:
+                    injector.corrupt_process(cluster.server(pid))
+        elif kind == "byzantine":
+            new_set = list(args["servers"])
+            strategy = args.get("strategy", "random-garbage")
+            crashed = [pid for pid in cluster.byzantine_ids
+                       if isinstance(cluster.server(pid).strategy,
+                                     _TimelineCrash)]
+            rotate_byzantine_set(cluster, injector, new_set,
+                                 strategy_factory(strategy, cluster),
+                                 frozen=crashed)
+
+
+def _resolve_targets(cluster, spec: Any) -> List:
+    """Burst targets: a group name or an explicit pid list."""
+    if spec == "servers":
+        return list(cluster.servers)
+    if spec == "clients":
+        return list(cluster.clients)
+    if spec == "all":
+        return list(cluster.servers) + list(cluster.clients)
+    by_pid = {process.pid: process
+              for process in list(cluster.servers) + list(cluster.clients)}
+    try:
+        return [by_pid[pid] for pid in spec]
+    except KeyError as missing:
+        raise ValueError(f"unknown burst target {missing}") from None
+
+
+# ----------------------------------------------------------------------
+# the original imperative layer
+# ----------------------------------------------------------------------
 @dataclass
 class FaultAction:
     """One scheduled injection."""

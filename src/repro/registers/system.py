@@ -27,7 +27,7 @@ from ..sim.network import (AsyncDelay, DelayModel, FixedDelay, Network,
 from ..sim.process import OperationHandle
 from ..sim.random_source import RandomSource
 from ..sim.scheduler import Scheduler
-from ..sim.trace import Trace
+from ..sim.trace import build_trace
 from .base import QuorumParams, RegisterClientProcess, ServerProcess
 from .bounded_seq import WsnConfig
 from .epochs import EpochLabeling
@@ -62,6 +62,15 @@ class ClusterConfig:
     #: trace kinds to record; None records everything (tests), an empty set
     #: records nothing but still counts (benches).
     record_kinds: Optional[set] = None
+    #: trace backend: "full" (record events, honouring ``record_kinds``),
+    #: "counting" (per-kind counters only) or "null" (retain nothing —
+    #: the fast path).  None keeps the historical behaviour: "full",
+    #: filtered by ``record_kinds``.
+    trace_backend: Optional[str] = None
+
+    def build_trace(self):
+        return build_trace(self.trace_backend or "full",
+                           record_kinds=self.record_kinds)
 
     def delay_model(self) -> DelayModel:
         if self.synchronous:
@@ -76,7 +85,7 @@ class Cluster:
                  delay_model: Optional[DelayModel] = None):
         self.config = config
         self.scheduler = Scheduler()
-        self.trace = Trace(record_kinds=config.record_kinds)
+        self.trace = config.build_trace()
         self.randomness = RandomSource(config.seed)
         self.network = Network(self.scheduler, self.randomness, self.trace,
                                default_delay=delay_model or config.delay_model())

@@ -23,7 +23,10 @@ from typing import Any, Callable, Dict, Tuple
 
 from ..checkers.atomicity import check_linearizable, find_new_old_inversions
 from ..experiments.figure1 import run_figure1
-from ..workloads.scenarios import run_mwmr_scenario, run_swsr_scenario
+from ..workloads.scenarios import (run_mobile_byzantine_scenario,
+                                   run_mwmr_scenario,
+                                   run_partition_scenario,
+                                   run_swsr_scenario)
 
 Sections = Tuple[Dict[str, bool], Dict[str, int], Dict[str, float], str]
 
@@ -59,6 +62,30 @@ def run_swsr_cell(params: Dict[str, Any]) -> Sections:
     a fact only (regularity legally allows inversions, Figure 1's point).
     """
     result = run_swsr_scenario(**params)
+    return _stabilizing_sections(result, params)
+
+
+def run_mwmr_cell(params: Dict[str, Any]) -> Sections:
+    """MWMR cell: ``ok`` = terminates + the history linearizes."""
+    result = run_mwmr_scenario(**params)
+    linearizable = bool(result.completed
+                        and check_linearizable(result.history).ok)
+    summary = result.summarize()
+    verdicts = {
+        "completed": summary.completed,
+        "linearizable": linearizable,
+        "ok": summary.completed and linearizable,
+    }
+    return (verdicts, _counters_from(summary), _timings_from(summary),
+            summary.history_digest)
+
+
+def _stabilizing_sections(result, params: Dict[str, Any]) -> Sections:
+    """Shared verdict shape of the fault-timeline families.
+
+    ``ok`` = terminates + stabilizes; atomic cells must additionally show
+    no new/old inversion after the declared τ (Theorem 3's headline).
+    """
     inversions = len(find_new_old_inversions(result.history,
                                              after=result.tau_no_tr))
     summary = result.summarize()
@@ -77,19 +104,19 @@ def run_swsr_cell(params: Dict[str, Any]) -> Sections:
             summary.history_digest)
 
 
-def run_mwmr_cell(params: Dict[str, Any]) -> Sections:
-    """MWMR cell: ``ok`` = terminates + the history linearizes."""
-    result = run_mwmr_scenario(**params)
-    linearizable = bool(result.completed
-                        and check_linearizable(result.history).ok)
-    summary = result.summarize()
-    verdicts = {
-        "completed": summary.completed,
-        "linearizable": linearizable,
-        "ok": summary.completed and linearizable,
-    }
-    return (verdicts, _counters_from(summary), _timings_from(summary),
-            summary.history_digest)
+def run_partition_cell(params: Dict[str, Any]) -> Sections:
+    """Partition-during-write cell; also reports dropped-message counts."""
+    result = run_partition_scenario(**params)
+    verdicts, counters, timings, digest = _stabilizing_sections(result,
+                                                                params)
+    counters["messages_dropped"] = result.cluster.network.messages_dropped
+    return verdicts, counters, timings, digest
+
+
+def run_mobile_byz_cell(params: Dict[str, Any]) -> Sections:
+    """Mobile Byzantine rotation cell: ok = terminates + stabilizes."""
+    result = run_mobile_byzantine_scenario(**params)
+    return _stabilizing_sections(result, params)
 
 
 def run_figure1_cell(params: Dict[str, Any]) -> Sections:
@@ -107,4 +134,6 @@ ADAPTERS: Dict[str, Callable[[Dict[str, Any]], Sections]] = {
     "swsr": run_swsr_cell,
     "mwmr": run_mwmr_cell,
     "figure1": run_figure1_cell,
+    "partition": run_partition_cell,
+    "mobile-byz": run_mobile_byz_cell,
 }

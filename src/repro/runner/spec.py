@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 #: scenario families the engine knows how to run (see ``adapters.py``).
-SCENARIOS = ("swsr", "mwmr", "figure1")
+SCENARIOS = ("swsr", "mwmr", "figure1", "partition", "mobile-byz")
 
 
 def derive_seed(name: str, scenario: str, params: Dict[str, Any],
@@ -162,13 +162,14 @@ def expand(specs: Union[SweepSpec, Iterable[SweepSpec]]) -> List[Cell]:
 
 
 def smoke_specs() -> List[SweepSpec]:
-    """The CI smoke sweep: 48 cells covering SWSR, MWMR and Figure 1.
+    """The CI smoke sweep: 64 cells covering every scenario family.
 
     Small enough to finish in seconds, broad enough to cross register
     kinds, Byzantine strategies, corruption schedules, both transports,
-    sync/async timing and MWMR concurrency.  Every cell is expected to
-    terminate and satisfy its consistency condition (``--strict`` gates CI
-    on that).
+    sync/async timing, MWMR concurrency, and the fault-timeline families
+    (partition-during-write, mobile Byzantine rotation).  Every cell is
+    expected to terminate and satisfy its consistency condition
+    (``--strict`` gates CI on that).
     """
     swsr = SweepSpec(
         name="smoke-swsr", scenario="swsr",
@@ -201,4 +202,27 @@ def smoke_specs() -> List[SweepSpec]:
         grid={"kind": ["regular", "atomic"]},
         seeds=None,
     )
-    return [swsr, sync, mwmr, figure1]
+    partition = SweepSpec(
+        name="smoke-partition", scenario="partition",
+        base={"n": 9, "t": 1, "num_writes": 6, "num_reads": 6},
+        grid={
+            "kind": ["regular", "atomic"],
+            "corruption_times": [[], [2.0]],
+        },
+        seeds=[0, 1],
+    )
+    # rotation strategies here must keep confirming (see the
+    # run_mobile_byzantine_scenario docstring: a broadcast in flight
+    # across a rotation sees *two* non-responsive servers under a silent
+    # set, which legitimately starves the n-t wait).
+    mobile = SweepSpec(
+        name="smoke-mobile-byz", scenario="mobile-byz",
+        base={"n": 9, "t": 1, "num_writes": 8, "num_reads": 8,
+              "rotations": 3},
+        grid={
+            "kind": ["regular", "atomic"],
+            "rotation_strategy": ["random-garbage", "stale"],
+        },
+        seeds=[0, 1],
+    )
+    return [swsr, sync, mwmr, figure1, partition, mobile]

@@ -15,15 +15,21 @@ from .process import (AllOf, AnyOf, Deadline, OperationHandle, Predicate,
                       Process, WaitCondition, join_all)
 from .random_source import RandomSource, derive_seed
 from .scheduler import EventHandle, Scheduler
-from .trace import (BROADCAST, DELIVER, FAULT, NOTE, OP_INVOKE, OP_RESPONSE,
-                    SEND, TIMER, Trace, TraceEvent)
+from .trace import (BROADCAST, CountingTrace, DELIVER, DROP, FAULT, FullTrace,
+                    NOTE, NullTrace, OP_INVOKE, OP_RESPONSE, SEND, TIMER,
+                    Trace, TraceBackend, TraceEvent, build_trace)
 
 __all__ = [
-    "AllOf", "AnyOf", "AsyncDelay", "BROADCAST", "DELIVER", "Deadline",
-    "DelayModel", "EventHandle", "FAULT", "FixedDelay", "Link", "LinkError",
-    "NOTE", "Network", "OP_INVOKE", "OP_RESPONSE", "OperationError",
+    "AllOf", "AnyOf", "AsyncDelay", "BROADCAST", "CountingTrace", "DELIVER",
+    "DROP", "Deadline",
+    "DelayModel", "EventHandle", "FAULT", "FixedDelay", "FullTrace", "Link",
+    "LinkError",
+    "NOTE", "Network", "NullTrace", "OP_INVOKE", "OP_RESPONSE",
+    "OperationError",
     "OperationHandle", "Predicate", "Process", "RandomSource", "SEND",
     "SchedulerError", "Scheduler", "ScriptedDelay", "SimulationError",
-    "SimulationLimitReached", "SyncDelay", "TIMER", "Trace", "TraceEvent",
-    "UnknownProcessError", "WaitCondition", "derive_seed", "join_all",
+    "SimulationLimitReached", "SyncDelay", "TIMER", "Trace", "TraceBackend",
+    "TraceEvent",
+    "UnknownProcessError", "WaitCondition", "build_trace", "derive_seed",
+    "join_all",
 ]

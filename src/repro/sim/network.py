@@ -4,7 +4,9 @@ The paper's basic model (Section 2.1): ``4n`` directed asynchronous links
 connecting each server to the writer and the reader, each link FIFO and
 reliable (no loss, corruption, duplication or creation) — except that
 transient failures may place arbitrary *initial* content on links, which we
-support via :meth:`Link.preload`.
+support via :meth:`Network.preload`, and that fault timelines may take a
+link *down* (a partition): messages sent over a down link are dropped and
+counted, messages already in flight still arrive.
 
 Delay models
 ------------
@@ -16,30 +18,50 @@ Delay models
 * :class:`ScriptedDelay` — fully adversarial: a callable chooses each delay,
   used to build the Figure-1 new/old-inversion schedule and the
   quorum-attack experiments.
+
+Every model implements ``sample(src, dst, msg, rng)``; the endpoint and
+message arguments let adversarial models build exact interleavings, and
+the uniform signature keeps the per-message path free of type dispatch.
+
+Fast path
+---------
+``send`` consults the trace backend once at construction: when message
+details are recorded (a :class:`~repro.sim.trace.FullTrace` debugging
+run), deliveries go through the labelled, cancellable scheduler path so
+the trace and the event queue stay inspectable; otherwise delivery is
+scheduled through the fused :meth:`Scheduler.schedule_delivery` entry —
+no kwargs dict, no detail dict, no :class:`EventHandle`.  Both paths
+consume identical ``(time, seq)`` pairs, so executions are bit-identical
+across backends.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from .errors import LinkError, UnknownProcessError
 from .process import Process
 from .random_source import RandomSource
 from .scheduler import Scheduler
-from .trace import DELIVER, SEND, Trace
+from .trace import DELIVER, DROP, SEND, TraceBackend
 
 
 # ----------------------------------------------------------------------
 # delay models
 # ----------------------------------------------------------------------
 class DelayModel:
-    """Strategy deciding the transfer delay of each message on a link."""
+    """Strategy deciding the transfer delay of each message on a link.
+
+    ``sample`` sees the link endpoints and the message so adversarial
+    models can choose delays per message; plain models ignore the extras.
+    """
 
     #: Upper bound on delays known to the processes, or None (asynchronous).
     bound: Optional[float] = None
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, src: str, dst: str, msg: Any,
+               rng: random.Random) -> float:
         raise NotImplementedError
 
 
@@ -52,7 +74,8 @@ class FixedDelay(DelayModel):
         self.delay = delay
         self.bound = delay
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, src: str, dst: str, msg: Any,
+               rng: random.Random) -> float:
         return self.delay
 
 
@@ -72,7 +95,8 @@ class AsyncDelay(DelayModel):
         self.hi = hi
         self.bound = None
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, src: str, dst: str, msg: Any,
+               rng: random.Random) -> float:
         return rng.uniform(self.lo, self.hi)
 
 
@@ -84,7 +108,8 @@ class SyncDelay(DelayModel):
             raise LinkError("bound must be positive")
         self.bound = bound
 
-    def sample(self, rng: random.Random) -> float:
+    def sample(self, src: str, dst: str, msg: Any,
+               rng: random.Random) -> float:
         return rng.uniform(1e-6, self.bound)
 
 
@@ -95,29 +120,30 @@ class ScriptedDelay(DelayModel):
     build exact interleavings (e.g. the Figure-1 inversion schedule).
     """
 
-    def __init__(self, chooser: Callable[[str, str, Any, random.Random], float],
-                 bound: Optional[float] = None):
+    def __init__(self, chooser, bound: Optional[float] = None):
         self.chooser = chooser
         self.bound = bound
-        self._src = ""
-        self._dst = ""
-        self._msg: Any = None
 
-    def bind(self, src: str, dst: str, msg: Any) -> None:
-        self._src, self._dst, self._msg = src, dst, msg
-
-    def sample(self, rng: random.Random) -> float:
-        return self.chooser(self._src, self._dst, self._msg, rng)
+    def sample(self, src: str, dst: str, msg: Any,
+               rng: random.Random) -> float:
+        return self.chooser(src, dst, msg, rng)
 
 
 # ----------------------------------------------------------------------
 # links and network
 # ----------------------------------------------------------------------
 class Link:
-    """One directed FIFO reliable link."""
+    """One directed FIFO reliable link.
+
+    Downtime is *vote-counted*, not boolean: each cut adds a vote, each
+    heal removes one, and the link is up only at zero votes.  That way
+    two overlapping partitions that both cover this link keep it down
+    until **both** have healed (a plain flag would let the first heal
+    silently reopen the other partition's cut).
+    """
 
     __slots__ = ("src", "dst", "delay_model", "rng", "last_delivery",
-                 "messages_sent", "up")
+                 "messages_sent", "messages_dropped", "down_votes")
 
     def __init__(self, src: str, dst: str, delay_model: DelayModel,
                  rng: random.Random):
@@ -127,25 +153,37 @@ class Link:
         self.rng = rng
         self.last_delivery = 0.0
         self.messages_sent = 0
-        self.up = True
+        self.messages_dropped = 0
+        self.down_votes = 0
+
+    @property
+    def up(self) -> bool:
+        return self.down_votes == 0
+
+    def cut(self) -> None:
+        self.down_votes += 1
+
+    def heal(self) -> None:
+        if self.down_votes > 0:
+            self.down_votes -= 1
 
     def next_delivery_time(self, now: float, message: Any) -> float:
         """FIFO-respecting delivery instant for a message sent at ``now``."""
-        model = self.delay_model
-        if isinstance(model, ScriptedDelay):
-            model.bind(self.src, self.dst, message)
-        candidate = now + model.sample(self.rng)
+        candidate = now + self.delay_model.sample(self.src, self.dst,
+                                                 message, self.rng)
         # FIFO: never deliver before a previously sent message on this link.
-        delivery = max(candidate, self.last_delivery)
-        self.last_delivery = delivery
-        return delivery
+        if candidate < self.last_delivery:
+            candidate = self.last_delivery
+        else:
+            self.last_delivery = candidate
+        return candidate
 
 
 class Network:
     """The set of all links plus process registry and delivery machinery."""
 
     def __init__(self, scheduler: Scheduler, randomness: RandomSource,
-                 trace: Trace, default_delay: Optional[DelayModel] = None):
+                 trace: TraceBackend, default_delay: Optional[DelayModel] = None):
         self.scheduler = scheduler
         self.randomness = randomness
         self.trace = trace
@@ -154,6 +192,14 @@ class Network:
         self.links: Dict[Tuple[str, str], Link] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
+        self.messages_dropped = 0
+        # Cache the backend's appetite once: these decide, per message,
+        # between the recording path and the fused constant-cost path.
+        self._rec_send = trace.wants(SEND)
+        self._rec_deliver = trace.wants(DELIVER)
+        self._rec_drop = trace.wants(DROP)
+        self._counting = trace.counting
+        scheduler.bind_delivery(self._deliver)
 
     # -- topology ---------------------------------------------------------
     def register(self, process: Process) -> Process:
@@ -185,38 +231,107 @@ class Network:
                 self.link(client, server, delay_model)
                 self.link(server, client, delay_model)
 
+    # -- partitions -------------------------------------------------------
+    def set_link_up(self, src: str, dst: str, up: bool = True) -> None:
+        """Vote one directed link down (drop its traffic) or back up.
+
+        Votes are counted (see :class:`Link`): pair every down with an
+        up, as the partition/heal timeline events do.
+        """
+        link = self.link(src, dst)
+        if up:
+            link.heal()
+        else:
+            link.cut()
+
+    def set_partition(self, group: Sequence[str], up: bool = False) -> None:
+        """Cut (``up=False``) or heal (``up=True``) every link between
+
+        ``group`` and the rest of the registered processes, both
+        directions.  Messages already in flight still arrive; messages
+        sent while a link is down are dropped and counted.  Cuts are
+        vote-counted per link, so overlapping partitions compose: a link
+        covered by two partitions stays down until both heal.
+        """
+        members = set(group)
+        unknown = [pid for pid in group if pid not in self.processes]
+        if unknown:
+            # a typo'd group would otherwise cut nothing and pass vacuously
+            raise UnknownProcessError(
+                f"cannot partition unregistered process(es) {unknown}")
+        others = [pid for pid in self.processes if pid not in members]
+        for inside in group:
+            for outside in others:
+                self.set_link_up(inside, outside, up)
+                self.set_link_up(outside, inside, up)
+
     # -- transport ----------------------------------------------------------
     def send(self, src: str, dst: str, message: Any) -> None:
         if dst not in self.processes:
             raise UnknownProcessError(f"no process {dst!r} registered")
-        link = self.link(src, dst)
-        self.messages_sent += 1
+        link = self.links.get((src, dst))
+        if link is None:
+            link = self.link(src, dst)
+        now = self.scheduler.now
+        if not link.up:
+            # partitioned: the message is lost, visibly.
+            link.messages_dropped += 1
+            self.messages_dropped += 1
+            if self._rec_drop:
+                self.trace.emit(now, DROP, src, dst=dst, msg=message)
+            elif self._counting:
+                self.trace.tick(now, DROP)
+            return
         link.messages_sent += 1
-        self.trace.emit(self.scheduler.now, SEND, src, dst=dst, msg=message)
-        delivery_time = link.next_delivery_time(self.scheduler.now, message)
-        self.scheduler.schedule_at(delivery_time, self._deliver, src, dst,
-                                   message, label=f"{src}->{dst}")
+        self.messages_sent += 1
+        delivery_time = link.next_delivery_time(now, message)
+        if self._rec_send:
+            self.trace.emit(now, SEND, src, dst=dst, msg=message)
+            self.scheduler.schedule_at(delivery_time, self._deliver, src, dst,
+                                       message, label=f"{src}->{dst}")
+        else:
+            if self._counting:
+                self.trace.tick(now, SEND)
+            self.scheduler.schedule_delivery(delivery_time, src, dst, message)
 
     def preload(self, src: str, dst: str, messages: Iterable[Any],
                 spread: float = 0.5) -> None:
         """Place arbitrary initial content on a link (transient failures).
 
-        The garbage messages are delivered FIFO ahead of anything sent later,
-        within ``spread`` time units of the current instant.
+        The garbage messages are delivered FIFO ahead of anything sent
+        later, within ``spread`` time units of the current instant.  They
+        count as sent messages (per link and globally) and emit SEND
+        events, so message statistics are consistent with normal traffic.
         """
         link = self.link(src, dst)
+        now = self.scheduler.now
         garbage = list(messages)
         for index, message in enumerate(garbage):
             offset = spread * (index + 1) / (len(garbage) + 1)
-            delivery_time = max(self.scheduler.now + offset, link.last_delivery)
+            delivery_time = max(now + offset, link.last_delivery)
             link.last_delivery = delivery_time
-            self.scheduler.schedule_at(delivery_time, self._deliver, src, dst,
-                                       message, label=f"preload:{src}->{dst}")
+            link.messages_sent += 1
+            self.messages_sent += 1
+            if self._rec_send:
+                self.trace.emit(now, SEND, src, dst=dst, msg=message,
+                                preload=True)
+                self.scheduler.schedule_at(delivery_time, self._deliver,
+                                           src, dst, message,
+                                           label=f"preload:{src}->{dst}")
+            else:
+                if self._counting:
+                    self.trace.tick(now, SEND)
+                self.scheduler.schedule_delivery(delivery_time, src, dst,
+                                                 message)
 
     def _deliver(self, src: str, dst: str, message: Any) -> None:
         process = self.processes.get(dst)
         if process is None:  # pragma: no cover - defensive
             raise UnknownProcessError(f"process {dst!r} vanished")
         self.messages_delivered += 1
-        self.trace.emit(self.scheduler.now, DELIVER, dst, src=src, msg=message)
+        if self._rec_deliver:
+            self.trace.emit(self.scheduler.now, DELIVER, dst, src=src,
+                            msg=message)
+        elif self._counting:
+            self.trace.tick(self.scheduler.now, DELIVER)
         process.deliver(src, message)

@@ -9,29 +9,37 @@ events — events scheduled earlier run earlier.
 The paper's model assumes processing takes zero time and only message
 transfers take time; we mirror that by running each event callback
 atomically at its scheduled instant.
+
+Two kinds of heap entry share the queue (plain tuples, so ordering
+comparisons run at C speed and never look past the unique ``seq``):
+
+* ``(time, seq, handle)`` — a generic, cancellable event carrying an
+  :class:`EventHandle` (timers, fault injections, drivers);
+* ``(time, seq, src, dst, message)`` — a fused message-delivery event.
+  The network registers its delivery callback once via
+  :meth:`Scheduler.bind_delivery`; per-message scheduling then allocates
+  nothing but the tuple itself.  Deliveries are not cancellable — exactly
+  the property that makes the fast path safe.
+
+Both kinds consume sequence numbers from the same counter, so the
+``(time, seq)`` total order — and therefore every simulated execution —
+is identical whichever path scheduled an event.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from .errors import SchedulerError, SimulationLimitReached
-
-
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
 
 
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "callback", "args", "cancelled", "fired", "label")
+    __slots__ = ("time", "callback", "args", "cancelled", "fired", "label",
+                 "_scheduler")
 
     def __init__(self, time: float, callback: Callable[..., Any],
                  args: tuple, label: str = ""):
@@ -41,10 +49,15 @@ class EventHandle:
         self.cancelled = False
         self.fired = False
         self.label = label
+        self._scheduler: Optional["Scheduler"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.fired or self.cancelled:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._live -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
@@ -64,10 +77,13 @@ class Scheduler:
 
     def __init__(self):
         self.now: float = 0.0
-        self._queue: List[_QueueEntry] = []
+        self._queue: List[Tuple] = []
         self._seq = itertools.count()
         self.events_processed: int = 0
         self._running = False
+        #: not-yet-fired, not-cancelled entries (kept O(1)-queryable).
+        self._live = 0
+        self._deliver_fn: Optional[Callable[[str, str, Any], None]] = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -86,32 +102,74 @@ class Scheduler:
             raise SchedulerError(
                 f"cannot schedule at {time}, current time is {self.now}")
         handle = EventHandle(time, callback, args, label=label)
-        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
+        handle._scheduler = self
+        heapq.heappush(self._queue, (time, next(self._seq), handle))
+        self._live += 1
         return handle
 
+    def bind_delivery(self, deliver: Callable[[str, str, Any], None]) -> None:
+        """Register the message-delivery callback used by the fused path.
+
+        Called once by the network; :meth:`schedule_delivery` events route
+        through it.
+        """
+        self._deliver_fn = deliver
+
+    def schedule_delivery(self, time: float, src: str, dst: str,
+                          message: Any) -> None:
+        """Fast path: schedule a non-cancellable message delivery.
+
+        Skips :class:`EventHandle` allocation entirely — the heap entry is
+        the event.  Requires :meth:`bind_delivery` to have been called.
+        Delivery times come from delay models that never go backwards, so
+        the past-check is an assertion of substrate correctness, same as in
+        :meth:`schedule_at`.
+        """
+        if time < self.now:
+            raise SchedulerError(
+                f"cannot schedule at {time}, current time is {self.now}")
+        if self._deliver_fn is None:
+            raise SchedulerError("no delivery callback bound "
+                                 "(Scheduler.bind_delivery)")
+        heapq.heappush(self._queue, (time, next(self._seq), src, dst, message))
+        self._live += 1
+
     def pending_count(self) -> int:
-        """Number of not-yet-fired, not-cancelled events in the queue."""
-        return sum(1 for entry in self._queue if not entry.handle.cancelled)
+        """Number of not-yet-fired, not-cancelled events in the queue (O(1))."""
+        return self._live
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or ``None`` if drained."""
-        while self._queue and self._queue[0].handle.cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if len(entry) == 3 and entry[2].cancelled:
+                heapq.heappop(queue)
+                continue
+            return entry[0]
+        return None
 
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next event.  Returns False if the queue is empty."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            handle = entry.handle
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            if len(entry) == 5:
+                self.now = entry[0]
+                self.events_processed += 1
+                self._live -= 1
+                self._deliver_fn(entry[2], entry[3], entry[4])
+                return True
+            handle = entry[2]
             if handle.cancelled:
                 continue
-            self.now = entry.time
+            self.now = entry[0]
             handle.fired = True
             self.events_processed += 1
+            self._live -= 1
             handle.callback(*handle.args)
             return True
         return False

@@ -1,10 +1,30 @@
-"""Structured execution traces.
+"""Structured execution traces with pluggable backends.
 
 Every interesting occurrence in a run — message send/delivery, operation
-invocation/response, fault injection, timer expiry — is appended to a
-:class:`Trace` as a :class:`TraceEvent`.  The consistency checkers in
-``repro.checkers`` consume operation events; the remaining events exist for
-debugging and for the message-count statistics reported by the benches.
+invocation/response, fault injection, timer expiry — is *emitted* to a
+trace backend.  How much of it is retained is the backend's choice:
+
+* :class:`FullTrace` — records :class:`TraceEvent` objects (optionally
+  filtered by kind) *and* counts every kind; the debugging backend.
+* :class:`CountingTrace` — per-kind counters only, no event objects; what
+  benches use when they need message statistics but not the log.
+* :class:`NullTrace` — retains nothing; the fastest possible substrate for
+  throughput-bound sweeps.
+
+The consistency checkers in ``repro.checkers`` consume operation events
+from a :class:`FullTrace`; everything that feeds verdicts and summaries
+(operation histories, message counters) lives outside the trace, so runs
+under the three backends produce identical results — see
+``tests/test_trace_backends.py``.
+
+Hot-path protocol
+-----------------
+``emit(time, kind, process, **detail)`` allocates a kwargs dict at the
+call site, which is fine on cold paths (operations, faults) but not per
+message.  Hot emitters (the network) consult :meth:`TraceBackend.wants`
+once and then call either ``emit`` (details wanted) or the constant-cost
+:meth:`TraceBackend.tick` (count + running max timestamp, no allocation).
+Backends with :attr:`TraceBackend.counting` false need neither.
 """
 
 from __future__ import annotations
@@ -17,6 +37,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 # and string comparison keeps them cheap and printable).
 SEND = "send"
 DELIVER = "deliver"
+DROP = "drop"
 OP_INVOKE = "op_invoke"
 OP_RESPONSE = "op_response"
 FAULT = "fault"
@@ -39,28 +60,56 @@ class TraceEvent:
         return f"[{self.time:.4f}] {self.kind} @{self.process} {inner}"
 
 
-class Trace:
-    """An append-only log of :class:`TraceEvent` records.
+class TraceBackend:
+    """The trace protocol: what a simulation substrate emits into.
 
-    Recording can be filtered by kind to keep long benchmark runs cheap:
-    ``Trace(record_kinds={OP_INVOKE, OP_RESPONSE, FAULT})`` drops per-message
-    events while still counting them.
+    Subclasses decide retention.  The query API is uniform so checkers and
+    tests can run against any backend (non-recording backends simply
+    return empty results).
     """
 
-    def __init__(self, record_kinds: Optional[set] = None):
+    #: whether :meth:`tick` maintains information (False lets hot paths
+    #: skip the call entirely).
+    counting: bool = True
+
+    def __init__(self) -> None:
         self.events: List[TraceEvent] = []
-        self.counts: Dict[str, int] = {}
-        self._record_kinds = record_kinds
+        self._max_time = 0.0
 
-    def emit(self, time: float, kind: str, process: str, **detail: Any) -> None:
-        """Record (or at least count) an event."""
-        self.counts[kind] = self.counts.get(kind, 0) + 1
-        if self._record_kinds is None or kind in self._record_kinds:
-            self.events.append(TraceEvent(time, kind, process, detail))
+    # -- emission ------------------------------------------------------
+    def wants(self, kind: str) -> bool:
+        """Would :meth:`emit` retain the detail of a ``kind`` event?
 
-    # ------------------------------------------------------------------
-    # queries
-    # ------------------------------------------------------------------
+        Hot paths cache this per kind and route to :meth:`tick` when it is
+        false, skipping all per-event allocation.
+        """
+        return False
+
+    def emit(self, time: float, kind: str, process: str,
+             **detail: Any) -> None:
+        """Record (or at least account for) one event."""
+        raise NotImplementedError
+
+    def tick(self, time: float, kind: str) -> None:
+        """Constant-cost accounting for an event whose detail is unwanted."""
+        if time > self._max_time:
+            self._max_time = time
+
+    # -- queries -------------------------------------------------------
+    def count(self, kind: str) -> int:
+        """Total number of events of ``kind`` (counted even if unrecorded)."""
+        return 0
+
+    def last_time(self) -> float:
+        """Virtual time of the last event this backend *observed*.
+
+        Counting backends observe every emission (recorded or not).  For
+        :class:`NullTrace` the network's fused path bypasses the trace
+        entirely, so only cold-path events (operations, faults) register
+        here — use ``scheduler.now`` for durations on that backend.
+        """
+        return self._max_time
+
     def of_kind(self, kind: str) -> Iterator[TraceEvent]:
         return (event for event in self.events if event.kind == kind)
 
@@ -69,13 +118,6 @@ class Trace:
 
     def where(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
         return [event for event in self.events if predicate(event)]
-
-    def count(self, kind: str) -> int:
-        """Total number of events of ``kind`` (counted even if not recorded)."""
-        return self.counts.get(kind, 0)
-
-    def last_time(self) -> float:
-        return self.events[-1].time if self.events else 0.0
 
     def __len__(self) -> int:
         return len(self.events)
@@ -90,3 +132,106 @@ class Trace:
         if limit is not None and len(self.events) > limit:
             lines.append(f"... ({len(self.events) - limit} more events)")
         return "\n".join(lines)
+
+
+class NullTrace(TraceBackend):
+    """Retains nothing: the fast path for throughput-bound sweeps.
+
+    ``emit`` still tracks the running max timestamp of the cold-path
+    events that reach it; hot paths see ``counting`` false and skip even
+    :meth:`tick`, so message events never register — ``last_time()`` on
+    this backend is not a run duration (use ``scheduler.now``).
+    """
+
+    counting = False
+
+    def emit(self, time: float, kind: str, process: str,
+             **detail: Any) -> None:
+        if time > self._max_time:
+            self._max_time = time
+
+
+class CountingTrace(TraceBackend):
+    """Per-kind counters without event objects.
+
+    Equivalent statistics to :class:`FullTrace` at a fraction of the
+    allocation cost; the backend behind ``record_kinds=set()`` call sites.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.counts: Dict[str, int] = {}
+
+    def emit(self, time: float, kind: str, process: str,
+             **detail: Any) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if time > self._max_time:
+            self._max_time = time
+
+    def tick(self, time: float, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if time > self._max_time:
+            self._max_time = time
+
+    def count(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+
+class FullTrace(TraceBackend):
+    """An append-only log of :class:`TraceEvent` records.
+
+    Recording can be filtered by kind to keep long debugging runs cheap:
+    ``FullTrace(record_kinds={OP_INVOKE, OP_RESPONSE, FAULT})`` drops
+    per-message events while still counting them.  ``last_time()`` reports
+    the last *emitted* event's time even when filtering drops it.
+    """
+
+    def __init__(self, record_kinds: Optional[set] = None):
+        super().__init__()
+        self.counts: Dict[str, int] = {}
+        self._record_kinds = record_kinds
+
+    def wants(self, kind: str) -> bool:
+        return self._record_kinds is None or kind in self._record_kinds
+
+    def emit(self, time: float, kind: str, process: str,
+             **detail: Any) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if time > self._max_time:
+            self._max_time = time
+        if self._record_kinds is None or kind in self._record_kinds:
+            self.events.append(TraceEvent(time, kind, process, detail))
+
+    def tick(self, time: float, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if time > self._max_time:
+            self._max_time = time
+
+    def count(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+
+#: Backwards-compatible alias: the original ``Trace`` recorded events with
+#: optional kind filtering, which is exactly :class:`FullTrace`.
+Trace = FullTrace
+
+#: Named backend registry (``ClusterConfig.trace_backend`` / scenario
+#: ``trace_backend=`` parameters resolve through this).
+BACKENDS = ("full", "counting", "null")
+
+
+def build_trace(backend: str = "full",
+                record_kinds: Optional[set] = None) -> TraceBackend:
+    """Construct a trace backend by name.
+
+    ``record_kinds`` only applies to the ``full`` backend (the others
+    retain no events by construction).
+    """
+    if backend == "full":
+        return FullTrace(record_kinds=record_kinds)
+    if backend == "counting":
+        return CountingTrace()
+    if backend == "null":
+        return NullTrace()
+    raise ValueError(f"unknown trace backend {backend!r} "
+                     f"(expected one of {BACKENDS})")

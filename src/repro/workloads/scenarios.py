@@ -16,6 +16,7 @@ from ..checkers.history import History
 from ..checkers.regularity import NO_INITIAL
 from ..checkers.stabilization import StabilizationReport, stabilization_report
 from ..faults.byzantine import strategy_factory
+from ..faults.schedule import FaultTimeline
 from ..faults.transient import TransientFaultInjector
 from ..registers.bounded_seq import WsnConfig
 from ..registers.system import (Cluster, ClusterConfig, build_mwmr,
@@ -145,6 +146,42 @@ def _burst_fractions(corruption_times: Sequence[float],
     return fractions
 
 
+def _as_timeline(timeline: Union[dict, FaultTimeline]) -> FaultTimeline:
+    if isinstance(timeline, FaultTimeline):
+        return timeline
+    return FaultTimeline.from_dict(timeline)
+
+
+def _drive_swsr_workload(cluster: Cluster, writer, reader, start: float,
+                         num_writes: int, num_reads: int, op_gap: float,
+                         reader_offset: Optional[float],
+                         max_events: int) -> Tuple[History, bool]:
+    """Schedule the alternating write/read workload and run it out.
+
+    Shared by every SWSR-shaped scenario family; returns the operation
+    history and whether all operations terminated within the budget.
+    """
+    write_times, read_times = alternating_schedule(
+        start, max(num_writes, num_reads), op_gap, reader_offset)
+    values = ValueStream()
+    writer_driver = ClientDriver(cluster.scheduler, writer)
+    reader_driver = ClientDriver(cluster.scheduler, reader)
+    for time in write_times[:num_writes]:
+        writer_driver.at(time, lambda w=writer: w.write(values.next()))
+    for time in read_times[:num_reads]:
+        reader_driver.at(time, lambda r=reader: r.read())
+    completed = True
+    try:
+        cluster.scheduler.run_until(
+            lambda: (writer_driver.all_done and reader_driver.all_done),
+            max_events=max_events)
+    except SimulationLimitReached:
+        completed = False
+    history = History.from_handles(writer_driver.handles
+                                   + reader_driver.handles)
+    return history, completed
+
+
 def _install_byzantine(cluster: Cluster, byzantine: Optional[Dict[str, str]],
                        byzantine_count: int, byzantine_strategy: str) -> None:
     """Install strategies either from an explicit {server: name} map or
@@ -158,6 +195,67 @@ def _install_byzantine(cluster: Cluster, byzantine: Optional[Dict[str, str]],
         ids = cluster.server_ids[:byzantine_count]
         cluster.make_byzantine(ids,
                                strategy_factory(byzantine_strategy, cluster))
+
+
+def _build_swsr_cluster(kind: str, n: int, t: int, seed: int,
+                        transport: str, enforce_resilience: bool,
+                        record_trace: bool, trace_backend: Optional[str],
+                        initial: Any, synchronous: bool = False,
+                        wsn_config: Optional[WsnConfig] = None):
+    """Stand up the cluster + writer/reader pair every SWSR-shaped
+
+    scenario family shares.  ``trace_backend=None`` derives from
+    ``record_trace`` ("full" when true, else "counting").
+    """
+    if trace_backend is None:
+        trace_backend = "full" if record_trace else "counting"
+    config = ClusterConfig(
+        n=n, t=t, seed=seed, synchronous=synchronous, transport=transport,
+        enforce_resilience=enforce_resilience, trace_backend=trace_backend)
+    cluster = Cluster(config)
+    if kind == "regular":
+        writer, reader = build_swsr_regular(cluster, initial=initial)
+    elif kind == "atomic":
+        writer, reader = build_swsr_atomic(cluster, initial=initial,
+                                           config=wsn_config)
+    else:
+        raise ValueError(f"unknown register kind {kind!r}")
+    return cluster, writer, reader
+
+
+def _schedule_bursts(injector: TransientFaultInjector, targets,
+                     corruption_times: Sequence[float],
+                     corruption_fraction: Union[float, Sequence[float]]
+                     ) -> float:
+    """Schedule the transient bursts; returns their τ_no_tr (0 if none).
+
+    Fractions are default-bound per iteration: a bare ``lambda:
+    ...fraction`` would make every burst use the *last* fraction (the
+    late-binding closure hazard).
+    """
+    fractions = _burst_fractions(corruption_times, corruption_fraction)
+    target_list = list(targets)
+    for time, fraction in zip(corruption_times, fractions):
+        injector.at(time, lambda fraction=fraction: injector.corrupt_all(
+            target_list, fraction))
+    return max(corruption_times) if corruption_times else 0.0
+
+
+def _swsr_result(cluster: Cluster, writer, reader,
+                 injector: TransientFaultInjector, history: History,
+                 completed: bool, kind: str, initial: Any, tau: float,
+                 **extra: Any) -> ScenarioResult:
+    """Report + result assembly shared by the SWSR-shaped families."""
+    mode = "atomic" if kind == "atomic" else "regular"
+    report = None
+    if completed and history.reads():
+        report = stabilization_report(history, mode=mode, initial=initial,
+                                      tau_no_tr=tau)
+    return ScenarioResult(cluster=cluster, history=history,
+                          completed=completed, report=report,
+                          tau_no_tr=tau,
+                          extra={"writer": writer, "reader": reader,
+                                 "injector": injector, **extra})
 
 
 def run_swsr_scenario(kind: str = "regular", n: int = 9, t: int = 1,
@@ -176,7 +274,10 @@ def run_swsr_scenario(kind: str = "regular", n: int = 9, t: int = 1,
                       initial: Any = "v_init",
                       enforce_resilience: bool = True,
                       max_events: int = 2_000_000,
-                      record_trace: bool = False) -> ScenarioResult:
+                      record_trace: bool = False,
+                      trace_backend: Optional[str] = None,
+                      fault_timeline: Optional[Union[dict, "FaultTimeline"]]
+                      = None) -> ScenarioResult:
     """Run a full SWSR experiment (Figure 2/3/5 depending on flags).
 
     * ``kind``: ``"regular"`` (Figure 2 / 5) or ``"atomic"`` (Figure 3).
@@ -184,72 +285,40 @@ def run_swsr_scenario(kind: str = "regular", n: int = 9, t: int = 1,
     * ``corruption_times``: transient bursts; the last one is τ_no_tr.
       All server and client protocol variables are corrupted (fraction-
       sampled) and, if ``link_garbage > 0``, garbage lands on every link.
+    * ``trace_backend``: "full" / "counting" / "null"; default derives
+      from ``record_trace`` ("full" when true, else "counting").
+    * ``fault_timeline``: a declarative :class:`~repro.faults.FaultTimeline`
+      (or its dict form) installed on top of the scalar fault knobs.
     * writes start after τ_no_tr (the paper's assumption (b)); reads are
       offset by ``reader_offset`` (default ``op_gap / 2``: no concurrency).
     """
-    config = ClusterConfig(
-        n=n, t=t, seed=seed, synchronous=synchronous, transport=transport,
-        enforce_resilience=enforce_resilience,
-        record_kinds=None if record_trace else set())
-    cluster = Cluster(config)
-    wsn_config = WsnConfig(wsn_modulus) if wsn_modulus else None
-    if kind == "regular":
-        writer, reader = build_swsr_regular(cluster, initial=initial)
-    elif kind == "atomic":
-        writer, reader = build_swsr_atomic(cluster, initial=initial,
-                                           config=wsn_config)
-    else:
-        raise ValueError(f"unknown register kind {kind!r}")
-
+    cluster, writer, reader = _build_swsr_cluster(
+        kind, n, t, seed, transport, enforce_resilience, record_trace,
+        trace_backend, initial, synchronous=synchronous,
+        wsn_config=WsnConfig(wsn_modulus) if wsn_modulus else None)
     _install_byzantine(cluster, byzantine, byzantine_count,
                        byzantine_strategy)
 
     injector = TransientFaultInjector.for_cluster(cluster)
-    tau_no_tr = max(corruption_times) if corruption_times else 0.0
-    # default-bind per-iteration values: ``lambda: ...fraction`` would make
-    # every burst use the *last* fraction (late-binding closure hazard).
-    fractions = _burst_fractions(corruption_times, corruption_fraction)
-    corruption_targets = cluster.servers + [writer, reader]
-    for time, fraction in zip(corruption_times, fractions):
-        injector.at(time, lambda fraction=fraction: injector.corrupt_all(
-            corruption_targets, fraction))
+    tau_no_tr = _schedule_bursts(injector,
+                                 cluster.servers + [writer, reader],
+                                 corruption_times, corruption_fraction)
     if link_garbage > 0 and corruption_times:
         first = min(corruption_times)
         injector.at(first, lambda: injector.garbage_everywhere(
             [writer.pid, reader.pid], cluster.server_ids,
             per_link=link_garbage))
+    if fault_timeline is not None:
+        timeline = _as_timeline(fault_timeline)
+        timeline.install(cluster, injector)
+        tau_no_tr = max(tau_no_tr, timeline.tau_no_tr)
 
     start = tau_no_tr + 1.0
-    write_times, read_times = alternating_schedule(
-        start, max(num_writes, num_reads), op_gap, reader_offset)
-    values = ValueStream()
-    writer_driver = ClientDriver(cluster.scheduler, writer)
-    reader_driver = ClientDriver(cluster.scheduler, reader)
-    for time in write_times[:num_writes]:
-        writer_driver.at(time, lambda w=writer: w.write(values.next()))
-    for time in read_times[:num_reads]:
-        reader_driver.at(time, lambda r=reader: r.read())
-
-    handles_of = lambda: writer_driver.handles + reader_driver.handles
-    completed = True
-    try:
-        cluster.scheduler.run_until(
-            lambda: (writer_driver.all_done and reader_driver.all_done),
-            max_events=max_events)
-    except SimulationLimitReached:
-        completed = False
-
-    history = History.from_handles(handles_of())
-    mode = "atomic" if kind == "atomic" else "regular"
-    report = None
-    if completed and history.reads():
-        report = stabilization_report(history, mode=mode, initial=initial,
-                                      tau_no_tr=tau_no_tr)
-    return ScenarioResult(cluster=cluster, history=history,
-                          completed=completed, report=report,
-                          tau_no_tr=tau_no_tr,
-                          extra={"writer": writer, "reader": reader,
-                                 "injector": injector})
+    history, completed = _drive_swsr_workload(
+        cluster, writer, reader, start, num_writes, num_reads, op_gap,
+        reader_offset, max_events)
+    return _swsr_result(cluster, writer, reader, injector, history,
+                        completed, kind, initial, tau_no_tr)
 
 
 def run_mwmr_scenario(m: int = 3, n: int = 9, t: int = 1, seed: int = 0,
@@ -264,7 +333,8 @@ def run_mwmr_scenario(m: int = 3, n: int = 9, t: int = 1, seed: int = 0,
                       transport: str = "direct",
                       enforce_resilience: bool = True,
                       max_events: int = 6_000_000,
-                      concurrent: bool = False) -> ScenarioResult:
+                      concurrent: bool = False,
+                      trace_backend: str = "counting") -> ScenarioResult:
     """Run a full MWMR experiment (Figure 4).
 
     Each of the ``m`` processes alternates ``mwmr_write`` / ``mwmr_read``.
@@ -282,7 +352,7 @@ def run_mwmr_scenario(m: int = 3, n: int = 9, t: int = 1, seed: int = 0,
     """
     config = ClusterConfig(n=n, t=t, seed=seed, transport=transport,
                            enforce_resilience=enforce_resilience,
-                           record_kinds=set())
+                           trace_backend=trace_backend)
     cluster = Cluster(config)
     register = build_mwmr(cluster, m, seq_bound=seq_bound, k=k)
     _install_byzantine(cluster, None, byzantine_count, byzantine_strategy)
@@ -322,3 +392,145 @@ def run_mwmr_scenario(m: int = 3, n: int = 9, t: int = 1, seed: int = 0,
                           completed=completed, tau_no_tr=tau_no_tr,
                           extra={"register": register,
                                  "injector": injector})
+
+
+def run_partition_scenario(kind: str = "regular", n: int = 9, t: int = 1,
+                           seed: int = 0, transport: str = "direct",
+                           num_writes: int = 6, num_reads: int = 6,
+                           op_gap: float = 10.0,
+                           reader_offset: Optional[float] = None,
+                           partition_count: Optional[int] = None,
+                           partition_start: Optional[float] = None,
+                           partition_duration: Optional[float] = None,
+                           corruption_times: Sequence[float] = (),
+                           corruption_fraction: Union[float,
+                                                      Sequence[float]] = 1.0,
+                           byzantine_count: int = 0,
+                           byzantine_strategy: str = "random-garbage",
+                           initial: Any = "v_init",
+                           enforce_resilience: bool = True,
+                           max_events: int = 2_000_000,
+                           record_trace: bool = False,
+                           trace_backend: Optional[str] = None
+                           ) -> ScenarioResult:
+    """Partition-during-write: a server group drops off mid-workload.
+
+    After the optional transient bursts settle, the write/read workload
+    starts — and *while it is running*, ``partition_count`` servers
+    (default ``t``, taken from the tail of the server list so they do not
+    overlap a Byzantine prefix) are cut off from the clients for
+    ``partition_duration`` time units, then healed.  Messages sent across
+    the cut are dropped and counted (``network.messages_dropped``).
+
+    Stabilization is judged from the heal instant: with at most ``t``
+    servers partitioned, operations keep terminating (they are
+    indistinguishable from silent Byzantine servers to the quorum logic),
+    and after the heal the condition must hold again.
+
+    Only meaningful on the ``direct`` transport: the datalink transport's
+    packet channels bypass the network's link layer.
+    """
+    if transport != "direct":
+        raise ValueError("partition scenarios require the direct transport "
+                         "(datalink channels bypass Network links)")
+    cluster, writer, reader = _build_swsr_cluster(
+        kind, n, t, seed, transport, enforce_resilience, record_trace,
+        trace_backend, initial)
+    _install_byzantine(cluster, None, byzantine_count, byzantine_strategy)
+
+    injector = TransientFaultInjector.for_cluster(cluster)
+    tau_bursts = _schedule_bursts(injector,
+                                  cluster.servers + [writer, reader],
+                                  corruption_times, corruption_fraction)
+
+    start = tau_bursts + 1.0
+    count = t if partition_count is None else partition_count
+    group = cluster.server_ids[n - count:] if count else []
+    p_start = (start + 1.5 * op_gap if partition_start is None
+               else partition_start)
+    duration = 2.0 * op_gap if partition_duration is None \
+        else partition_duration
+    timeline = FaultTimeline()
+    if group:
+        timeline.partition(p_start, p_start + duration, group)
+    timeline.install(cluster, injector)
+    tau_report = max(tau_bursts, timeline.tau_no_tr)
+
+    history, completed = _drive_swsr_workload(
+        cluster, writer, reader, start, num_writes, num_reads, op_gap,
+        reader_offset, max_events)
+    return _swsr_result(cluster, writer, reader, injector, history,
+                        completed, kind, initial, tau_report,
+                        timeline=timeline, partition_group=group)
+
+
+def run_mobile_byzantine_scenario(kind: str = "regular", n: int = 9,
+                                  t: int = 1, seed: int = 0,
+                                  transport: str = "direct",
+                                  num_writes: int = 8, num_reads: int = 8,
+                                  op_gap: float = 10.0,
+                                  reader_offset: Optional[float] = None,
+                                  rotations: int = 3,
+                                  rotation_gap: Optional[float] = None,
+                                  rotation_size: Optional[int] = None,
+                                  rotation_strategy: str = "random-garbage",
+                                  corruption_times: Sequence[float] = (),
+                                  corruption_fraction: Union[
+                                      float, Sequence[float]] = 1.0,
+                                  initial: Any = "v_init",
+                                  enforce_resilience: bool = True,
+                                  max_events: int = 2_000_000,
+                                  record_trace: bool = False,
+                                  trace_backend: Optional[str] = None
+                                  ) -> ScenarioResult:
+    """Mobile Byzantine rotation (footnote 1) under a live workload.
+
+    The Byzantine set (size ``rotation_size``, default ``t``) hops across
+    the server ring every ``rotation_gap`` time units (default
+    ``2 * op_gap``), ``rotations`` times, while the writer and reader keep
+    operating.  A server leaving the set re-joins the correct ones with
+    *arbitrary* local state — the timeline corrupts it through the
+    transient injector, which is exactly the situation the stabilization
+    property covers.
+
+    Stabilization is judged from the **last rotation**: a moving set is a
+    sequence of transient disruptions, but once it stops moving the
+    remaining (static, size ≤ t) Byzantine set must be tolerated forever.
+
+    Liveness caveat: with a *non-responsive* rotation strategy (``silent``
+    / ``crash``) a broadcast in flight across a rotation instant can see
+    two mute servers — the old member dropped it before the handover, the
+    new one after — which exceeds the ``n - t`` wait's fault budget and
+    can legitimately starve an operation (``completed=False``).  Strict
+    sweeps should rotate responsive liars (``random-garbage``, ``stale``).
+    """
+    cluster, writer, reader = _build_swsr_cluster(
+        kind, n, t, seed, transport, enforce_resilience, record_trace,
+        trace_backend, initial)
+
+    injector = TransientFaultInjector.for_cluster(cluster)
+    tau_bursts = _schedule_bursts(injector,
+                                  cluster.servers + [writer, reader],
+                                  corruption_times, corruption_fraction)
+
+    start = tau_bursts + 1.0
+    size = t if rotation_size is None else rotation_size
+    gap = 2.0 * op_gap if rotation_gap is None else rotation_gap
+    timeline = FaultTimeline()
+    last_rotation = 0.0
+    server_ids = cluster.server_ids
+    for index in range(rotations):
+        members = [server_ids[(index * size + offset) % n]
+                   for offset in range(size)]
+        time = start + index * gap
+        timeline.byzantine(time, members, rotation_strategy)
+        last_rotation = time
+    timeline.install(cluster, injector)
+    tau_report = max(tau_bursts, last_rotation)
+
+    history, completed = _drive_swsr_workload(
+        cluster, writer, reader, start, num_writes, num_reads, op_gap,
+        reader_offset, max_events)
+    return _swsr_result(cluster, writer, reader, injector, history,
+                        completed, kind, initial, tau_report,
+                        timeline=timeline)

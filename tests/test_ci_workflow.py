@@ -17,7 +17,7 @@ def workflow():
 
 
 def test_workflow_parses_and_has_jobs(workflow):
-    assert set(workflow["jobs"]) == {"lint", "test"}
+    assert set(workflow["jobs"]) == {"lint", "test", "perf-smoke"}
     # "on" parses as YAML true; accept either spelling
     assert True in workflow or "on" in workflow
 
@@ -45,6 +45,16 @@ def test_determinism_guard_compares_worker_counts(workflow):
     guard = " ".join(step.get("run", "") for step in steps)
     assert "--workers 1" in guard and "--workers 4" in guard
     assert "cmp" in guard
+
+
+def test_perf_smoke_job_gates_and_uploads_simcore_bench(workflow):
+    steps = workflow["jobs"]["perf-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert "benchmarks/test_bench_perf_scaling.py" in runs
+    uploads = [step for step in steps
+               if "upload-artifact" in step.get("uses", "")]
+    assert uploads, "BENCH_simcore.json upload step missing"
+    assert "BENCH_simcore.json" in uploads[0]["with"]["path"]
 
 
 def test_lint_job_uses_ruff(workflow):

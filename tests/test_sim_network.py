@@ -92,7 +92,7 @@ def test_preload_delivers_garbage_first():
 def test_sync_delay_respects_bound():
     model = SyncDelay(bound=2.0)
     rng = RandomSource(1).stream("x")
-    samples = [model.sample(rng) for _ in range(200)]
+    samples = [model.sample("a", "b", None, rng) for _ in range(200)]
     assert all(0 < sample <= 2.0 for sample in samples)
     assert model.bound == 2.0
 
@@ -101,7 +101,7 @@ def test_async_delay_has_no_known_bound():
     model = AsyncDelay(0.1, 5.0)
     assert model.bound is None
     rng = RandomSource(1).stream("x")
-    samples = [model.sample(rng) for _ in range(200)]
+    samples = [model.sample("a", "b", None, rng) for _ in range(200)]
     assert all(0.1 <= sample <= 5.0 for sample in samples)
 
 
@@ -164,3 +164,94 @@ def test_connect_all_creates_bidirectional_links():
     network.connect_all(["a"], ["b"])
     assert ("a", "b") in network.links
     assert ("b", "a") in network.links
+
+
+# ----------------------------------------------------------------------
+# preload accounting, partitions and the fused fast path
+# ----------------------------------------------------------------------
+def test_preload_counts_as_sent_messages():
+    network, scheduler, a, b = make_network(FixedDelay(5.0))
+    network.preload("a", "b", ["junk1", "junk2"])
+    assert network.messages_sent == 2
+    assert network.links[("a", "b")].messages_sent == 2
+    assert network.trace.count("send") == 2
+    scheduler.run()
+    assert network.messages_delivered == 2
+
+
+def test_down_link_drops_and_counts():
+    network, scheduler, a, b = make_network(FixedDelay(1.0))
+    network.set_link_up("a", "b", up=False)
+    network.send("a", "b", "lost")
+    scheduler.run()
+    assert b.received == []
+    assert network.messages_dropped == 1
+    assert network.links[("a", "b")].messages_dropped == 1
+    assert network.messages_sent == 0
+    assert network.trace.count("drop") == 1
+
+
+def test_partition_and_heal_round_trip():
+    network, scheduler, a, b = make_network(FixedDelay(1.0))
+    network.set_partition(["b"])
+    network.send("a", "b", "during")
+    network.set_partition(["b"], up=True)
+    network.send("a", "b", "after")
+    scheduler.run()
+    assert [message for _, _, message in b.received] == ["after"]
+    assert network.messages_dropped == 1
+
+
+def test_overlapping_partitions_do_not_heal_each_other():
+    # regression: link down-votes are counted, so a link covered by two
+    # partitions stays down until *both* have healed.
+    scheduler = Scheduler()
+    trace = Trace()
+    network = Network(scheduler, RandomSource(0), trace,
+                      default_delay=FixedDelay(1.0))
+    a = network.register(Recorder("a", scheduler, trace))
+    b = network.register(Recorder("b", scheduler, trace))
+    network.register(Recorder("c", scheduler, trace))
+    network.set_partition(["a"])          # cuts a<->b, a<->c
+    network.set_partition(["b"])          # cuts b<->a, b<->c (a<->b twice)
+    network.set_partition(["b"], up=True)
+    network.send("a", "b", "still-cut")   # a's partition still covers it
+    network.send("b", "c", "flows")
+    network.set_partition(["a"], up=True)
+    network.send("a", "b", "open-again")
+    scheduler.run()
+    assert [message for _, _, message in b.received] == ["open-again"]
+    assert network.messages_dropped == 1
+
+
+def test_in_flight_messages_survive_partition():
+    network, scheduler, a, b = make_network(FixedDelay(5.0))
+    network.send("a", "b", "already-sent")
+    scheduler.run(until=1.0)
+    network.set_partition(["b"])
+    scheduler.run()
+    assert [message for _, _, message in b.received] == ["already-sent"]
+
+
+def test_fast_path_matches_recording_path():
+    """Fused (counting/null) and labelled (full) deliveries must produce
+    the same execution."""
+    from repro.sim.trace import CountingTrace, NullTrace
+
+    def run(trace):
+        scheduler = Scheduler()
+        network = Network(scheduler, RandomSource(5), trace,
+                          default_delay=AsyncDelay(0.1, 3.0))
+        a = network.register(Recorder("a", scheduler, trace))
+        b = network.register(Recorder("b", scheduler, trace))
+        for index in range(30):
+            network.send("a", "b", index)
+            network.send("b", "a", -index)
+        scheduler.run()
+        return (a.received, b.received, scheduler.events_processed,
+                network.messages_sent, network.messages_delivered)
+
+    full = run(Trace())
+    counting = run(CountingTrace())
+    null = run(NullTrace())
+    assert full == counting == null

@@ -175,3 +175,66 @@ def test_empty_run_returns_immediately():
     sched = Scheduler()
     sched.run()
     assert sched.now == 0.0
+
+
+# ----------------------------------------------------------------------
+# fused delivery events and O(1) pending bookkeeping
+# ----------------------------------------------------------------------
+def test_schedule_delivery_requires_bound_callback():
+    sched = Scheduler()
+    with pytest.raises(SchedulerError):
+        sched.schedule_delivery(1.0, "a", "b", "msg")
+
+
+def test_fused_and_generic_events_share_total_order():
+    sched = Scheduler()
+    fired = []
+    sched.bind_delivery(lambda src, dst, msg: fired.append(("dlv", src, dst,
+                                                            msg)))
+    # same virtual time: insertion order (seq) must decide
+    sched.schedule_at(1.0, lambda: fired.append(("cb", 1)))
+    sched.schedule_delivery(1.0, "a", "b", "m1")
+    sched.schedule_at(1.0, lambda: fired.append(("cb", 2)))
+    sched.schedule_delivery(0.5, "a", "b", "m0")
+    sched.run()
+    assert fired == [("dlv", "a", "b", "m0"), ("cb", 1),
+                     ("dlv", "a", "b", "m1"), ("cb", 2)]
+    assert sched.events_processed == 4
+
+
+def test_fused_deliveries_count_as_pending():
+    sched = Scheduler()
+    sched.bind_delivery(lambda src, dst, msg: None)
+    sched.schedule_delivery(1.0, "a", "b", "m")
+    sched.schedule(2.0, lambda: None)
+    assert sched.pending_count() == 2
+    sched.run()
+    assert sched.pending_count() == 0
+
+
+def test_pending_count_is_live_through_cancel_and_fire():
+    sched = Scheduler()
+    handles = [sched.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sched.pending_count() == 5
+    handles[2].cancel()
+    handles[2].cancel()  # double-cancel must not double-decrement
+    assert sched.pending_count() == 4
+    sched.run(until=2.5)
+    assert sched.pending_count() == 2
+
+
+def test_cancel_after_fire_is_a_noop():
+    sched = Scheduler()
+    handle = sched.schedule(1.0, lambda: None)
+    sched.run()
+    handle.cancel()
+    assert sched.pending_count() == 0
+
+
+def test_schedule_delivery_rejects_past():
+    sched = Scheduler()
+    sched.bind_delivery(lambda src, dst, msg: None)
+    sched.schedule(1.0, lambda: None)
+    sched.run()
+    with pytest.raises(SchedulerError):
+        sched.schedule_delivery(0.5, "a", "b", "m")

@@ -1,0 +1,185 @@
+"""The FaultTimeline scenario families: determinism, drops, rotation."""
+
+import pytest
+
+from repro.faults.schedule import FaultTimeline, TimelineEvent
+from repro.runner.engine import run_sweep
+from repro.runner.spec import SweepSpec
+from repro.workloads.scenarios import (run_mobile_byzantine_scenario,
+                                       run_partition_scenario,
+                                       run_swsr_scenario)
+
+
+class TestPartitionScenario:
+    def test_same_seed_same_summary(self):
+        first = run_partition_scenario(seed=11).summarize()
+        second = run_partition_scenario(seed=11).summarize()
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        first = run_partition_scenario(seed=11).summarize()
+        second = run_partition_scenario(seed=12).summarize()
+        assert first.history_digest != second.history_digest
+
+    def test_partition_drops_messages_and_still_stabilizes(self):
+        result = run_partition_scenario(seed=3)
+        assert result.completed
+        assert result.report is not None and result.report.stable
+        assert result.cluster.network.messages_dropped > 0
+        # the healed network stops dropping: totals are consistent
+        network = result.cluster.network
+        assert network.messages_delivered <= network.messages_sent
+
+    def test_partitioning_more_than_t_servers_can_starve(self):
+        # 2 of 9 servers unreachable with t=1: the n-t ack quorum cannot
+        # form while the partition lasts; with a long enough partition the
+        # run must exhaust its budget rather than terminate.
+        result = run_partition_scenario(seed=3, partition_count=2,
+                                        partition_duration=1_000.0,
+                                        max_events=100_000)
+        assert not result.completed
+
+    def test_atomic_kind_supported(self):
+        result = run_partition_scenario(kind="atomic", seed=4)
+        assert result.completed
+        assert result.report is not None and result.report.stable
+
+    def test_rejects_datalink_transport(self):
+        with pytest.raises(ValueError):
+            run_partition_scenario(transport="datalink")
+
+
+class TestMobileByzantineScenario:
+    def test_same_seed_same_summary(self):
+        first = run_mobile_byzantine_scenario(seed=21).summarize()
+        second = run_mobile_byzantine_scenario(seed=21).summarize()
+        assert first == second
+
+    def test_rotation_moves_the_byzantine_set(self):
+        result = run_mobile_byzantine_scenario(seed=2, rotations=3)
+        assert result.completed
+        # after 3 rotations of size t=1 the set sits on the 3rd server
+        assert result.cluster.byzantine_ids == ["s3"]
+        # recovering servers re-join with corrupted state
+        assert result.extra["injector"].corruptions > 0
+
+    def test_rotation_respects_t_bound(self):
+        with pytest.raises(ValueError):
+            run_mobile_byzantine_scenario(seed=0, rotation_size=2)  # t=1
+
+    def test_stabilizes_after_last_rotation(self):
+        result = run_mobile_byzantine_scenario(seed=5, rotations=2)
+        assert result.completed
+        assert result.report is not None and result.report.stable
+        assert result.tau_no_tr >= 1.0  # last rotation instant
+
+
+class TestTimelineSerialization:
+    def test_round_trip(self):
+        timeline = (FaultTimeline()
+                    .burst(2.0, fraction=0.5, targets="servers")
+                    .partition(10.0, 20.0, ["s1"])
+                    .crash_recovery(5.0, 8.0, ["s2"])
+                    .byzantine(12.0, ["s3"], "stale")
+                    .link_garbage(2.0, per_link=2))
+        restored = FaultTimeline.from_dict(timeline.to_dict())
+        assert restored == timeline
+        assert restored.tau_no_tr == timeline.tau_no_tr
+
+    def test_tau_excludes_byzantine_rotation(self):
+        timeline = (FaultTimeline()
+                    .burst(2.0)
+                    .byzantine(50.0, ["s1"]))
+        assert timeline.tau_no_tr == 2.0
+        assert timeline.last_event_time == 50.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineEvent(1.0, "meteor-strike")
+        with pytest.raises(ValueError):
+            FaultTimeline().partition(5.0, 5.0, ["s1"])  # must heal later
+
+    def test_rejected_timeline_installs_nothing(self):
+        # validation happens before scheduling: a timeline whose later
+        # event is invalid must not leave earlier events on the scheduler.
+        from repro.faults.transient import TransientFaultInjector
+        from repro.registers.system import (Cluster, ClusterConfig,
+                                            build_swsr_regular)
+        cluster = Cluster(ClusterConfig(n=9, t=1, seed=0))
+        build_swsr_regular(cluster, initial="v")
+        injector = TransientFaultInjector.for_cluster(cluster)
+        timeline = (FaultTimeline()
+                    .burst(2.0)
+                    .byzantine(5.0, ["s1", "s2"]))  # exceeds t=1
+        before = cluster.scheduler.pending_count()
+        with pytest.raises(ValueError):
+            timeline.install(cluster, injector)
+        assert cluster.scheduler.pending_count() == before
+
+    def test_partitioning_unknown_pid_is_loud(self):
+        from repro.sim.errors import UnknownProcessError
+        from repro.registers.system import Cluster, ClusterConfig
+        cluster = Cluster(ClusterConfig(n=9, t=1, seed=0))
+        with pytest.raises(UnknownProcessError):
+            cluster.network.set_partition(["s99"])
+
+    def test_byzantine_rotation_leaves_crashed_servers_alone(self):
+        # regression: a rotation during a crash window must not revive
+        # the crashed server early — only its `recover` event may.
+        from repro.faults.transient import TransientFaultInjector
+        from repro.registers.system import (Cluster, ClusterConfig,
+                                            build_swsr_regular)
+        cluster = Cluster(ClusterConfig(n=9, t=1, seed=0))
+        build_swsr_regular(cluster, initial="v")
+        injector = TransientFaultInjector.for_cluster(cluster)
+        timeline = (FaultTimeline()
+                    .crash_recovery(4.0, 9.0, ["s5"])
+                    .byzantine(6.0, ["s1"]))
+        timeline.install(cluster, injector)
+        cluster.run(until=7.0)
+        assert sorted(cluster.byzantine_ids) == ["s1", "s5"]  # still down
+        cluster.run(until=10.0)
+        assert cluster.byzantine_ids == ["s1"]  # recover event revived s5
+        assert injector.corruptions > 0  # with arbitrary state
+
+    def test_swsr_scenario_accepts_timeline_dict(self):
+        timeline = FaultTimeline().burst(3.0, fraction=0.5)
+        result = run_swsr_scenario(seed=9, num_writes=2, num_reads=2,
+                                   fault_timeline=timeline.to_dict())
+        assert result.completed
+        # the timeline's burst pushed tau (and hence the workload) out
+        assert result.tau_no_tr == 3.0
+        assert result.extra["injector"].corruptions > 0
+
+
+class TestSweepIntegration:
+    def test_new_families_run_through_the_runner(self):
+        specs = [
+            SweepSpec(name="tl-partition", scenario="partition",
+                      base={"n": 9, "t": 1, "num_writes": 4,
+                            "num_reads": 4},
+                      grid={"kind": ["regular", "atomic"]}, seeds=[0]),
+            SweepSpec(name="tl-mobile", scenario="mobile-byz",
+                      base={"n": 9, "t": 1, "num_writes": 6,
+                            "num_reads": 6, "rotations": 2},
+                      grid={"rotation_strategy": ["random-garbage",
+                                                  "stale"]},
+                      seeds=[0]),
+        ]
+        sweep = run_sweep(specs, workers=1)
+        assert len(sweep.cells) == 4
+        assert sweep.all_ok
+        partition_cells = [cell for cell in sweep.cells
+                           if cell.scenario == "partition"]
+        assert all("messages_dropped" in cell.counters
+                   for cell in partition_cells)
+
+    def test_sweep_output_identical_across_worker_counts(self):
+        spec = SweepSpec(name="tl-det", scenario="mobile-byz",
+                         base={"n": 9, "t": 1, "num_writes": 4,
+                               "num_reads": 4, "rotations": 2},
+                         grid={"kind": ["regular", "atomic"]},
+                         seeds=[0, 1])
+        serial = run_sweep(spec, workers=1).to_json()
+        parallel = run_sweep(spec, workers=2).to_json()
+        assert serial == parallel
