@@ -39,33 +39,66 @@ class NewOldInversion:
 
 
 def find_new_old_inversions(history: History, after: float = 0.0,
-                            register: Optional[str] = None
+                            register: Optional[str] = None,
+                            initial: Any = NO_INITIAL
                             ) -> List[NewOldInversion]:
     """All new/old inversions among reads invoked at or after ``after``.
 
     Reads returning values that were never written (arbitrary pre-
     stabilization output) are skipped here — they are flagged by the
-    regularity checker instead.
+    regularity checker instead.  Exception: when ``initial`` is given it
+    participates as virtual write ``#-1``, so the pattern "read w0, then
+    read the initial value back" *is* an inversion (it has no
+    linearization; found by the brute-force oracle of
+    ``tests/test_checkers_properties.py``).  A real write may rewrite
+    the initial value, making reads of that value ambiguous between
+    virtual write #-1 and the rewrite.  Such reads are attributed
+    *feasibly* (the virtual write is ruled out once any real write
+    completely precedes the read) and then *conservatively* (an
+    inversion is reported only if every remaining attribution is one):
+    sound on rewrite histories — never a false positive — though pairwise
+    attribution may miss inversions that only a globally consistent
+    assignment would expose.  Workloads with unique written values (what
+    the scenario generators guarantee) are always attributed exactly.
     """
     writers = history.writers(register)
     if len(writers) > 1:
         raise ValueError(
             f"inversion detector needs a single writer, got {writers}")
     writes = history.writes(register)
-    write_index = {}
+    # value -> all write indices it may denote (>1 entry only for an
+    # initial value that a real write later rewrites).
+    write_index: Dict[Any, List[int]] = \
+        {} if initial is NO_INITIAL else {initial: [-1]}
     for index, write in enumerate(writes):
-        if write.value in write_index:
+        slots = write_index.setdefault(write.value, [])
+        if any(slot >= 0 for slot in slots):
             raise ValueError(f"written value {write.value!r} is not unique")
-        write_index[write.value] = index
+        slots.append(index)
+
+    def feasible(read: Operation) -> List[int]:
+        slots = write_index[read.value]
+        if -1 not in slots:
+            return slots
+        # the virtual initial is ruled out once any write completely
+        # precedes the read; a real rewrite is ruled out when it is
+        # invoked only after the read responded.
+        if any(write.precedes(read) for write in writes):
+            slots = [slot for slot in slots if slot >= 0]
+        return [slot for slot in slots
+                if slot < 0 or not read.precedes(writes[slot])]
+
     reads = [read for read in history.reads(register)
              if read.invoke >= after and read.value in write_index]
+    attributions = {read.op_id: feasible(read) for read in reads}
+    reads = [read for read in reads if attributions[read.op_id]]
     inversions = []
     for i, first in enumerate(reads):
         for second in reads[i + 1:]:
             if not first.precedes(second):
                 continue
-            k1 = write_index[first.value]
-            k2 = write_index[second.value]
+            k1 = min(attributions[first.op_id])
+            k2 = max(attributions[second.op_id])
             if k2 < k1:
                 inversions.append(NewOldInversion(first, second, k1, k2))
     return inversions
@@ -81,7 +114,7 @@ def check_atomic_swsr(history: History, after: float = 0.0,
     """
     from .regularity import check_regularity
     violations = check_regularity(history, after, register, initial)
-    inversions = find_new_old_inversions(history, after, register)
+    inversions = find_new_old_inversions(history, after, register, initial)
     return violations, inversions
 
 

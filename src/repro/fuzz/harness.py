@@ -1,0 +1,191 @@
+"""Case execution: fast-path verdicts, full-trace confirmation, checkers.
+
+The campaign runs every case on the NullTrace fast path (PR 2: constant-
+cost ``tick``, nothing retained) and computes only the cheap verdict:
+*completed and eventually consistent*.  Suspicious cases are re-run under
+``FullTrace`` — executions are byte-identical across backends, which the
+re-run asserts via the history digest — and their histories are fed
+through the regularity/atomicity/stabilization checkers to extract the
+concrete violating reads for the replay artifact.
+
+Test-only violation injection
+-----------------------------
+``REPRO_FUZZ_INJECT=<event-kind>`` makes every case whose timeline
+contains an event of that kind report a synthetic
+``injected:<event-kind>`` violation.  It exists so the shrinker and the
+replay pipeline can be exercised end-to-end (CI acceptance: an injected
+violation must shrink to an artifact that reproduces under ``--replay``)
+without planting a real bug.  The hook reads the environment at *check*
+time, so worker processes inherit it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..checkers.atomicity import find_new_old_inversions
+from ..checkers.regularity import check_regularity
+from ..checkers.stabilization import stabilization_report
+from ..runner.adapters import counters_from
+from ..workloads.scenarios import history_digest, run_swsr_scenario
+from .gen import INITIAL, FuzzCase
+
+#: environment variable enabling the test-only injection hook.
+INJECT_ENV = "REPRO_FUZZ_INJECT"
+
+
+@dataclass
+class CaseOutcome:
+    """Everything one execution of a case yields (plain data only)."""
+
+    case: FuzzCase
+    backend: str
+    completed: bool
+    stable: Optional[bool]
+    ok: bool
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    history_digest: str = ""
+
+    @property
+    def signature(self) -> Tuple[str, ...]:
+        """Sorted distinct violation kinds — the shrinker's 'same failure'."""
+        return tuple(sorted({entry["kind"] for entry in self.violations}))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "completed": self.completed,
+            "counters": dict(sorted(self.counters.items())),
+            "history_digest": self.history_digest,
+            "ok": self.ok,
+            "stable": self.stable,
+            "timings": dict(sorted(self.timings.items())),
+            "violations": self.violations,
+        }
+
+
+def _injected_violations(case: FuzzCase) -> List[Dict[str, Any]]:
+    kind = os.environ.get(INJECT_ENV)
+    if not kind:
+        return []
+    hits = [event for event in case.timeline if event["kind"] == kind]
+    if not hits:
+        return []
+    return [{"kind": f"injected:{kind}",
+             "detail": f"timeline contains {len(hits)} {kind!r} event(s) "
+                       f"and {INJECT_ENV} is set"}]
+
+
+def _violation_details(history, case: FuzzCase, tau: float
+                       ) -> List[Dict[str, Any]]:
+    """Concrete violating reads after ``tau`` (full-check path only)."""
+    details: List[Dict[str, Any]] = []
+    for violation in check_regularity(history, after=tau, initial=INITIAL):
+        details.append({
+            "kind": "regularity",
+            "detail": f"read {violation.returned!r} at "
+                      f"[{violation.read.invoke:.3f}, "
+                      f"{violation.read.response:.3f}] not in allowed set",
+        })
+    if case.kind == "atomic":
+        for inversion in find_new_old_inversions(history, after=tau,
+                                                 initial=INITIAL):
+            details.append({
+                "kind": "new-old-inversion",
+                "detail": f"read w#{inversion.first_write_index} then "
+                          f"w#{inversion.second_write_index} "
+                          f"(invoked {inversion.first.invoke:.3f} / "
+                          f"{inversion.second.invoke:.3f})",
+            })
+    return details
+
+
+def run_case(case: FuzzCase, backend: str = "null",
+             detail: bool = False) -> CaseOutcome:
+    """Execute ``case`` on the given trace backend and judge it.
+
+    ``detail=True`` (the FullTrace confirmation pass) additionally lists
+    the concrete violating reads; the fast path only needs the boolean
+    verdict.  A raising scenario is *contained* as an ``error:<Type>``
+    violation so shrinking works uniformly on crashes too.
+    """
+    try:
+        result = run_swsr_scenario(trace_backend=backend,
+                                   **case.scenario_kwargs())
+    except Exception as exc:  # noqa: BLE001 - cases must not kill campaigns
+        return CaseOutcome(
+            case=case, backend=backend, completed=False, stable=None,
+            ok=False,
+            violations=[{"kind": f"error:{type(exc).__name__}",
+                         "detail": str(exc)}])
+    timeline = case.fault_timeline()
+    # judge stabilization from the last adversary action of any kind:
+    # rotations may straddle the workload, and the construction only owes
+    # consistency on the suffix after the Byzantine set stops moving.
+    tau = max(result.tau_no_tr, timeline.last_event_time)
+    mode = "atomic" if case.kind == "atomic" else "regular"
+    report = None
+    if result.completed and result.history.reads():
+        # the scenario already computed this report when its tau (which
+        # excludes rotations) is the harness tau — don't pay the suffix
+        # search twice.
+        if result.report is not None and tau == result.tau_no_tr:
+            report = result.report
+        else:
+            report = stabilization_report(result.history, mode=mode,
+                                          initial=INITIAL, tau_no_tr=tau)
+    stable = report.stable if report else None
+
+    violations: List[Dict[str, Any]] = []
+    if not result.completed:
+        violations.append({
+            "kind": "incomplete",
+            "detail": "operations did not terminate within "
+                      f"max_events={case.max_events}"})
+    elif stable is False:
+        if detail:
+            violations.extend(_violation_details(result.history, case, tau))
+        if not violations:
+            violations.append({
+                "kind": "unstable",
+                "detail": f"no suffix after tau={tau} satisfies {mode}"})
+    violations.extend(_injected_violations(case))
+
+    summary = result.summarize()
+    counters = counters_from(summary)
+    # summary.dirty_reads is judged against the scenario's own τ, not
+    # this harness's tau (which also covers rotations) — reporting it
+    # here would mix two τ bases.
+    counters.pop("dirty_reads", None)
+    counters["timeline_events"] = len(case.timeline)
+    timings = {"sim_end": summary.sim_end, "tau_adversary": tau,
+               "tau_no_tr": result.tau_no_tr}
+    if report and report.tau_stab is not None:
+        timings["tau_stab"] = report.tau_stab
+    return CaseOutcome(
+        case=case, backend=backend, completed=result.completed,
+        stable=stable, ok=not violations, violations=violations,
+        counters=counters, timings=timings,
+        history_digest=history_digest(result.history))
+
+
+def confirm_case(case: FuzzCase,
+                 fast: Optional[CaseOutcome] = None) -> CaseOutcome:
+    """FullTrace re-run of a suspicious case, with violation details.
+
+    Asserts the backend-independence invariant when the fast outcome is
+    available: the history digest must not depend on the trace backend.
+    """
+    full = run_case(case, backend="full", detail=True)
+    if (fast is not None and fast.history_digest and full.history_digest
+            and fast.history_digest != full.history_digest):
+        full.violations.append({
+            "kind": "backend-divergence",
+            "detail": f"null-trace digest {fast.history_digest} != "
+                      f"full-trace digest {full.history_digest}"})
+        full.ok = False
+    return full

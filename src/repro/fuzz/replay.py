@@ -1,0 +1,132 @@
+"""Replay artifacts: a shrunk counterexample as a self-contained JSON file.
+
+An artifact records the *shrunk* case (everything needed to re-run it),
+the original case it was minimized from, the shrink bookkeeping, the
+confirming FullTrace outcome, and — when the test-only injection hook was
+active — the environment it needs to reproduce.  ``python -m repro.fuzz
+--replay FILE`` loads one, re-runs the case and reports whether the
+recorded violation kinds still reproduce.
+
+The committed regression corpus lives under ``tests/replays/``: every
+invariant bug the fuzzer (or anyone) finds gets shrunk, saved there and
+replayed by ``tests/test_fuzz_replay_fixtures.py`` forever after.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .gen import FuzzCase
+from .harness import INJECT_ENV, CaseOutcome, confirm_case, run_case
+
+FORMAT = "repro.fuzz.replay/1"
+
+
+@dataclass
+class ReplayArtifact:
+    """One shrunk, replayable counterexample."""
+
+    case: FuzzCase
+    violations: List[Dict[str, Any]]
+    original_case: Optional[FuzzCase] = None
+    shrink: Optional[Dict[str, Any]] = None
+    outcome: Optional[Dict[str, Any]] = None
+    campaign: Optional[Dict[str, Any]] = None
+    requires_env: Optional[Dict[str, str]] = None
+
+    @property
+    def signature(self) -> List[str]:
+        return sorted({entry["kind"] for entry in self.violations})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign": self.campaign,
+            "case": self.case.to_dict(),
+            "format": FORMAT,
+            "original_case": (self.original_case.to_dict()
+                              if self.original_case else None),
+            "outcome": self.outcome,
+            "requires_env": self.requires_env,
+            "shrink": self.shrink,
+            "violations": self.violations,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReplayArtifact":
+        if data.get("format") != FORMAT:
+            raise ValueError(f"not a replay artifact "
+                             f"(format={data.get('format')!r}, "
+                             f"expected {FORMAT!r})")
+        return cls(
+            case=FuzzCase.from_dict(data["case"]),
+            violations=list(data.get("violations") or []),
+            original_case=(FuzzCase.from_dict(data["original_case"])
+                           if data.get("original_case") else None),
+            shrink=data.get("shrink"),
+            outcome=data.get("outcome"),
+            campaign=data.get("campaign"),
+            requires_env=data.get("requires_env"))
+
+    @classmethod
+    def load(cls, path: str) -> "ReplayArtifact":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def current_inject_env() -> Optional[Dict[str, str]]:
+    """The injection-hook environment, for recording into artifacts."""
+    value = os.environ.get(INJECT_ENV)
+    return {INJECT_ENV: value} if value else None
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of re-running an artifact's case."""
+
+    artifact: ReplayArtifact
+    outcome: CaseOutcome
+    reproduced: bool
+    missing_env: List[str]
+
+    def describe(self) -> str:
+        if self.reproduced:
+            return (f"REPRODUCED: {', '.join(self.artifact.signature)} "
+                    f"(digest {self.outcome.history_digest})")
+        status = "CLEAN" if self.outcome.ok else \
+            f"DIFFERENT: {', '.join(self.outcome.signature)}"
+        hint = ""
+        if self.missing_env:
+            hint = (" [note: artifact expects "
+                    + ", ".join(f"{key}={self.artifact.requires_env[key]}"
+                                for key in self.missing_env) + "]")
+        return f"{status}{hint}"
+
+
+def replay(artifact: ReplayArtifact) -> ReplayOutcome:
+    """Re-run the shrunk case exactly as the campaign judged it:
+
+    NullTrace fast path first, then the FullTrace confirmation with the
+    digest cross-check (so a recorded ``backend-divergence`` violation
+    can reproduce too).  "Reproduced" means every recorded violation
+    kind appears again; the caller decides whether that is good news
+    (confirming a fresh counterexample) or bad news (a regression
+    fixture resurfacing).
+    """
+    outcome = confirm_case(artifact.case,
+                           run_case(artifact.case, backend="null"))
+    recorded = set(artifact.signature)
+    reproduced = bool(recorded) and recorded <= set(outcome.signature)
+    missing = [key for key, value in (artifact.requires_env or {}).items()
+               if os.environ.get(key) != value]
+    return ReplayOutcome(artifact=artifact, outcome=outcome,
+                         reproduced=reproduced, missing_env=missing)

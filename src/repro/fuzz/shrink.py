@@ -1,0 +1,250 @@
+"""Delta-debugging shrinker: minimal timelines, minimal parameters.
+
+Given a failing :class:`~repro.fuzz.gen.FuzzCase`, the shrinker searches
+for the smallest case that still fails *the same way* (same sorted set of
+fast-path violation kinds).  Two alternating passes run to a fixpoint
+under a deterministic oracle-call budget:
+
+* **event pass** — classic ddmin over the fault timeline: try dropping
+  chunks of events (halving granularity), then single events;
+* **parameter pass** — per-parameter candidate ladders (fewer operations,
+  the smallest resilient topology, no static Byzantine server, default
+  reader offset, rounder event arguments), applied greedily.
+
+Everything is a pure function of the input case, so shrinking is exactly
+as reproducible as the cases themselves; outcomes are memoized on the
+case's canonical JSON to keep the oracle-call count meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .gen import FuzzCase
+from .harness import CaseOutcome, run_case
+
+Oracle = Callable[[FuzzCase], CaseOutcome]
+
+
+def default_oracle(case: FuzzCase) -> CaseOutcome:
+    """Fast-path oracle (NullTrace, boolean verdict only)."""
+    return run_case(case, backend="null")
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized case plus the bookkeeping the artifact records."""
+
+    case: FuzzCase
+    outcome: CaseOutcome
+    signature: Tuple[str, ...]
+    oracle_calls: int
+    events_before: int
+    events_after: int
+    steps: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events_after": self.events_after,
+            "events_before": self.events_before,
+            "oracle_calls": self.oracle_calls,
+            "signature": list(self.signature),
+            "steps": self.steps,
+        }
+
+
+class _Budget:
+    """Counts oracle calls; memoizes outcomes by canonical case JSON."""
+
+    def __init__(self, oracle: Oracle, limit: int):
+        self.oracle = oracle
+        self.limit = limit
+        self.calls = 0
+        self._memo: Dict[str, CaseOutcome] = {}
+
+    def exhausted(self) -> bool:
+        return self.calls >= self.limit
+
+    def seed(self, case: FuzzCase, outcome: CaseOutcome) -> None:
+        """Pre-populate the memo with an already-computed outcome."""
+        self._memo[json.dumps(case.to_dict(), sort_keys=True)] = outcome
+
+    def run(self, case: FuzzCase) -> Optional[CaseOutcome]:
+        key = json.dumps(case.to_dict(), sort_keys=True)
+        if key in self._memo:
+            return self._memo[key]
+        if self.exhausted():
+            return None
+        self.calls += 1
+        outcome = self.oracle(case)
+        self._memo[key] = outcome
+        return outcome
+
+
+def _still_fails(budget: _Budget, case: FuzzCase,
+                 signature: Tuple[str, ...]) -> Optional[CaseOutcome]:
+    """The candidate's outcome if it reproduces ``signature``, else None.
+
+    A candidate reproducing a *superset* of the original violation kinds
+    counts: dropping events must never be rejected because it exposed an
+    additional symptom of the same failure.
+    """
+    outcome = budget.run(case)
+    if outcome is None:
+        return None
+    if set(signature) <= set(outcome.signature):
+        return outcome
+    return None
+
+
+def _ddmin_events(case: FuzzCase, signature: Tuple[str, ...],
+                  budget: _Budget, steps: List[str]) -> FuzzCase:
+    """Minimize ``case.timeline`` by ddmin (chunks, then granularity*2)."""
+    events = list(case.timeline)
+    chunk = max(1, len(events) // 2)
+    while events and chunk >= 1:
+        removed_any = False
+        start = 0
+        while start < len(events):
+            candidate_events = events[:start] + events[start + chunk:]
+            candidate = case.with_timeline(candidate_events)
+            if _still_fails(budget, candidate, signature) is not None:
+                steps.append(f"drop events [{start}:{start + chunk}] "
+                             f"({len(events)} -> {len(candidate_events)})")
+                events = candidate_events
+                removed_any = True
+                # same start index now names the next chunk
+            else:
+                start += chunk
+            if budget.exhausted():
+                return case.with_timeline(events)
+        if not removed_any:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return case.with_timeline(events)
+
+
+def _max_referenced_server(case: FuzzCase) -> int:
+    """Highest server number named by the timeline (0 when none)."""
+    from .gen import server_number
+    highest = 0
+    for event in case.timeline:
+        args = event.get("args") or {}
+        pids = list(args.get("servers") or ()) + list(args.get("group")
+                                                     or ())
+        targets = args.get("targets")
+        if isinstance(targets, (list, tuple)):   # explicit burst pid list
+            pids.extend(targets)
+        for pid in pids:
+            number = server_number(pid)
+            if number is not None:
+                highest = max(highest, number)
+    return highest
+
+
+def _parameter_candidates(case: FuzzCase) -> List[Tuple[str, FuzzCase]]:
+    """Ordered single-parameter reductions to try (biggest wins first)."""
+    candidates: List[Tuple[str, FuzzCase]] = []
+
+    def propose(label: str, **changes: Any) -> None:
+        candidate = replace(case, **changes)
+        if candidate != case:
+            candidates.append((label, candidate))
+
+    for target in (1, case.num_writes // 2):
+        if 1 <= target < case.num_writes:
+            propose(f"num_writes={target}", num_writes=target)
+    for target in (1, case.num_reads // 2):
+        if 1 <= target < case.num_reads:
+            propose(f"num_reads={target}", num_reads=target)
+    # topology reductions must keep every server the timeline names —
+    # a smaller cluster would just KeyError, wasting an oracle call.
+    min_n = max(8 * case.t + 1, _max_referenced_server(case))
+    if case.n > min_n:
+        propose(f"n={min_n}", n=min_n)
+    if case.t > 1:
+        # t cannot drop below the largest rotation set the timeline
+        # installs (FaultTimeline.install rejects sets larger than t).
+        largest_rotation = max(
+            (len(event.get("args", {}).get("servers") or ())
+             for event in case.timeline if event["kind"] == "byzantine"),
+            default=0)
+        target_t = max(1, largest_rotation)
+        small_n = max(8 * target_t + 1, _max_referenced_server(case))
+        if target_t < case.t and small_n <= case.n:
+            propose(f"t={target_t}", t=target_t, n=small_n,
+                    byzantine_count=min(case.byzantine_count, target_t))
+    if case.byzantine_count > 0:
+        propose("byzantine_count=0", byzantine_count=0)
+    if case.reader_offset is not None:
+        propose("reader_offset=None", reader_offset=None)
+    if case.transport != "direct":
+        propose("transport=direct", transport="direct")
+    # event-argument rounding: fractions to one coarse step, times floored.
+    rounded = []
+    changed = False
+    for event in case.timeline:
+        event = dict(event)
+        args = dict(event.get("args") or {})
+        if "fraction" in args and args["fraction"] != 1.0:
+            args["fraction"] = 1.0
+            changed = True
+        floored = float(int(event["time"]))
+        if event["time"] != floored:
+            event["time"] = floored
+            changed = True
+        event["args"] = args
+        rounded.append(event)
+    if changed:
+        candidates.append(("round event args",
+                           case.with_timeline(rounded)))
+    return candidates
+
+
+def _shrink_parameters(case: FuzzCase, signature: Tuple[str, ...],
+                       budget: _Budget, steps: List[str]) -> FuzzCase:
+    progress = True
+    while progress and not budget.exhausted():
+        progress = False
+        for label, candidate in _parameter_candidates(case):
+            if _still_fails(budget, candidate, signature) is not None:
+                steps.append(label)
+                case = candidate
+                progress = True
+                break
+    return case
+
+
+def shrink_case(case: FuzzCase, oracle: Oracle = default_oracle,
+                max_oracle_calls: int = 200,
+                known_failure: Optional[CaseOutcome] = None) -> ShrinkResult:
+    """Minimize a failing case; raises ``ValueError`` if it doesn't fail.
+
+    ``known_failure`` seeds the memo with the caller's already-computed
+    fast-path outcome of ``case``, saving one full simulation.
+    """
+    budget = _Budget(oracle, max_oracle_calls)
+    if known_failure is not None:
+        budget.seed(case, known_failure)
+    original = budget.run(case)
+    if original is None or original.ok:
+        raise ValueError("shrink_case needs a failing case")
+    signature = original.signature
+    steps: List[str] = []
+    best = case
+    # alternate passes until neither makes progress (or budget runs dry).
+    while not budget.exhausted():
+        after_events = _ddmin_events(best, signature, budget, steps)
+        after_params = _shrink_parameters(after_events, signature, budget,
+                                          steps)
+        if after_params == best:
+            break
+        best = after_params
+    outcome = budget.run(best) or original
+    return ShrinkResult(case=best, outcome=outcome, signature=signature,
+                        oracle_calls=budget.calls,
+                        events_before=len(case.timeline),
+                        events_after=len(best.timeline), steps=steps)

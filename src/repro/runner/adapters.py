@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, Tuple
 
 from ..checkers.atomicity import check_linearizable, find_new_old_inversions
 from ..experiments.figure1 import run_figure1
-from ..workloads.scenarios import (run_mobile_byzantine_scenario,
+from ..workloads.scenarios import (INITIAL, run_mobile_byzantine_scenario,
                                    run_mwmr_scenario,
                                    run_partition_scenario,
                                    run_swsr_scenario)
@@ -31,7 +31,7 @@ from ..workloads.scenarios import (run_mobile_byzantine_scenario,
 Sections = Tuple[Dict[str, bool], Dict[str, int], Dict[str, float], str]
 
 
-def _timings_from(summary) -> Dict[str, float]:
+def timings_from(summary) -> Dict[str, float]:
     timings = {"sim_end": summary.sim_end, "tau_no_tr": summary.tau_no_tr}
     for name in ("tau_1w", "tau_stab", "stabilization_time"):
         value = getattr(summary, name)
@@ -40,7 +40,7 @@ def _timings_from(summary) -> Dict[str, float]:
     return timings
 
 
-def _counters_from(summary) -> Dict[str, int]:
+def counters_from(summary) -> Dict[str, int]:
     counters = {
         "corruptions": summary.corruptions,
         "events_processed": summary.events_processed,
@@ -76,7 +76,7 @@ def run_mwmr_cell(params: Dict[str, Any]) -> Sections:
         "linearizable": linearizable,
         "ok": summary.completed and linearizable,
     }
-    return (verdicts, _counters_from(summary), _timings_from(summary),
+    return (verdicts, counters_from(summary), timings_from(summary),
             summary.history_digest)
 
 
@@ -85,9 +85,12 @@ def _stabilizing_sections(result, params: Dict[str, Any]) -> Sections:
 
     ``ok`` = terminates + stabilizes; atomic cells must additionally show
     no new/old inversion after the declared τ (Theorem 3's headline).
+    The initial value participates as virtual write #-1, matching the
+    stabilization report's judgement (see checkers.atomicity).
     """
-    inversions = len(find_new_old_inversions(result.history,
-                                             after=result.tau_no_tr))
+    inversions = len(find_new_old_inversions(
+        result.history, after=result.tau_no_tr,
+        initial=params.get("initial", INITIAL)))
     summary = result.summarize()
     stable = summary.stable
     ok = summary.completed and (stable is None or bool(stable))
@@ -98,9 +101,9 @@ def _stabilizing_sections(result, params: Dict[str, Any]) -> Sections:
         "stable": bool(stable),
         "ok": ok,
     }
-    counters = _counters_from(summary)
+    counters = counters_from(summary)
     counters["new_old_inversions"] = inversions
-    return (verdicts, counters, _timings_from(summary),
+    return (verdicts, counters, timings_from(summary),
             summary.history_digest)
 
 
@@ -117,6 +120,32 @@ def run_mobile_byz_cell(params: Dict[str, Any]) -> Sections:
     """Mobile Byzantine rotation cell: ok = terminates + stabilizes."""
     result = run_mobile_byzantine_scenario(**params)
     return _stabilizing_sections(result, params)
+
+
+def run_fuzz_cell(params: Dict[str, Any]) -> Sections:
+    """Generated-case cell (``repro.fuzz``): ``ok`` = no violations.
+
+    ``params["seed"]`` is the hash-derived replicate seed the campaign
+    spec produced; the case itself is regenerated from it inside the
+    worker (cases never cross the process boundary).  Runs on the
+    NullTrace fast path; the campaign re-checks suspicious cells under
+    FullTrace in the parent process.
+    """
+    # lazy import: repro.fuzz.campaign imports the runner engine, which
+    # imports this module — binding at call time keeps the cycle open.
+    from ..fuzz.gen import FuzzProfile, generate_case
+    from ..fuzz.harness import run_case
+
+    profile = FuzzProfile.from_dict(params.get("profile"))
+    case = generate_case(int(params["seed"]), profile)
+    outcome = run_case(case, backend="null")
+    verdicts = {
+        "completed": outcome.completed,
+        "stable": bool(outcome.stable),
+        "ok": outcome.ok,
+    }
+    return (verdicts, outcome.counters, outcome.timings,
+            outcome.history_digest)
 
 
 def run_figure1_cell(params: Dict[str, Any]) -> Sections:
@@ -136,4 +165,5 @@ ADAPTERS: Dict[str, Callable[[Dict[str, Any]], Sections]] = {
     "figure1": run_figure1_cell,
     "partition": run_partition_cell,
     "mobile-byz": run_mobile_byz_cell,
+    "fuzz": run_fuzz_cell,
 }

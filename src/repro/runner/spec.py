@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 #: scenario families the engine knows how to run (see ``adapters.py``).
-SCENARIOS = ("swsr", "mwmr", "figure1", "partition", "mobile-byz")
+SCENARIOS = ("swsr", "mwmr", "figure1", "partition", "mobile-byz", "fuzz")
 
 
 def derive_seed(name: str, scenario: str, params: Dict[str, Any],

@@ -24,6 +24,10 @@ from ..registers.system import (Cluster, ClusterConfig, build_mwmr,
 from ..sim.errors import SimulationLimitReached
 from .generators import ClientDriver, ValueStream, alternating_schedule
 
+#: default register initial value, shared by every scenario family (the
+#: checkers treat it as virtual write #-1 — keep one source of truth).
+INITIAL = "v_init"
+
 
 @dataclass(frozen=True)
 class ScenarioSummary:
@@ -271,7 +275,7 @@ def run_swsr_scenario(kind: str = "regular", n: int = 9, t: int = 1,
                       byzantine_count: int = 0,
                       byzantine_strategy: str = "random-garbage",
                       wsn_modulus: Optional[int] = None,
-                      initial: Any = "v_init",
+                      initial: Any = INITIAL,
                       enforce_resilience: bool = True,
                       max_events: int = 2_000_000,
                       record_trace: bool = False,
@@ -407,7 +411,7 @@ def run_partition_scenario(kind: str = "regular", n: int = 9, t: int = 1,
                                                       Sequence[float]] = 1.0,
                            byzantine_count: int = 0,
                            byzantine_strategy: str = "random-garbage",
-                           initial: Any = "v_init",
+                           initial: Any = INITIAL,
                            enforce_resilience: bool = True,
                            max_events: int = 2_000_000,
                            record_trace: bool = False,
@@ -477,7 +481,7 @@ def run_mobile_byzantine_scenario(kind: str = "regular", n: int = 9,
                                   corruption_times: Sequence[float] = (),
                                   corruption_fraction: Union[
                                       float, Sequence[float]] = 1.0,
-                                  initial: Any = "v_init",
+                                  initial: Any = INITIAL,
                                   enforce_resilience: bool = True,
                                   max_events: int = 2_000_000,
                                   record_trace: bool = False,

@@ -1,0 +1,309 @@
+"""Property tests: checkers vs brute-force oracles on generated histories.
+
+Hypothesis-style seeded loops (stdlib only): hundreds of small random
+histories — including deliberately inconsistent ones — are judged both by
+the production checkers and by independent brute-force oracles built
+directly on the definitions:
+
+* *linearizability oracle* — enumerate every permutation of the
+  operations that respects real-time precedence and replay register
+  semantics over it;
+* *regularity oracle* — a read is regular iff the totally-ordered writes
+  **plus that single read** linearize (Lamport's per-read
+  characterization of regular registers — a genuinely different
+  formulation from the checker's allowed-value-set computation);
+* *τ_stab oracle* — scan candidate cut-offs directly.
+
+Any disagreement is reported with the offending history rendered, so a
+failure is immediately replayable.
+"""
+
+import itertools
+import random
+
+from repro.checkers.atomicity import (check_linearizable,
+                                      find_new_old_inversions,
+                                      is_atomic_swsr)
+from repro.checkers.history import History, Operation
+from repro.checkers.regularity import check_regularity
+from repro.checkers.stabilization import find_tau_stab
+from repro.workloads.scenarios import INITIAL
+
+
+# ----------------------------------------------------------------------
+# brute-force oracles
+# ----------------------------------------------------------------------
+def respects_real_time(ops, order):
+    """No operation is placed before one that responded before it began."""
+    for i, j in itertools.combinations(range(len(order)), 2):
+        if ops[order[j]].response < ops[order[i]].invoke:
+            return False
+    return True
+
+
+def register_semantics_hold(ops, order, initial):
+    value = initial
+    for index in order:
+        op = ops[index]
+        if op.kind == "write":
+            value = op.value
+        elif op.value != value:
+            return False
+    return True
+
+
+def brute_linearizable(ops, initial=INITIAL) -> bool:
+    """Exhaustive permutation search (fine for <= 7 operations)."""
+    indices = list(range(len(ops)))
+    return any(respects_real_time(ops, list(order))
+               and register_semantics_hold(ops, list(order), initial)
+               for order in itertools.permutations(indices))
+
+
+def brute_read_is_regular(history, read, initial=INITIAL) -> bool:
+    """Lamport: regular <=> the writes plus this one read linearize."""
+    return brute_linearizable(history.writes() + [read], initial)
+
+
+def brute_tau_stab(history, mode, tau_no_tr):
+    """Earliest candidate cut-off with a clean suffix, by direct scan."""
+    candidates = [tau_no_tr] + [read.invoke for read in history.reads()]
+    for cut in sorted(candidates):
+        ok = not check_regularity(history, cut, initial=INITIAL)
+        if mode == "atomic":
+            ok = ok and not find_new_old_inversions(history, after=cut,
+                                                    initial=INITIAL)
+        if ok:
+            return max(cut, tau_no_tr)
+    return None
+
+
+# ----------------------------------------------------------------------
+# history generators (seeded, deliberately including broken histories)
+# ----------------------------------------------------------------------
+def _sequential_intervals(rng, count, start=0.0):
+    """Non-overlapping (invoke, response) pairs for one sequential client."""
+    intervals, now = [], start
+    for _ in range(count):
+        invoke = round(now + rng.randrange(0, 3), 1)
+        response = round(invoke + 0.5 + rng.randrange(0, 5), 1)
+        intervals.append((invoke, response))
+        now = response + 0.1
+    return intervals
+
+
+def gen_swsr_history(rng, readers=1):
+    """Sequential writer + sequential reader(s), arbitrary read values."""
+    history = History()
+    writes = rng.randrange(0, 4)
+    for index, (invoke, response) in enumerate(
+            _sequential_intervals(rng, writes)):
+        history.add("write", "w", f"w{index}", invoke, response)
+    values = [f"w{i}" for i in range(writes)] + [INITIAL, "junk"]
+    for reader in range(readers):
+        reads = rng.randrange(1, 4)
+        start = rng.randrange(0, 4)
+        for invoke, response in _sequential_intervals(rng, reads, start):
+            history.add("read", f"r{reader}",
+                        values[rng.randrange(len(values))],
+                        invoke, response)
+    return history
+
+
+def gen_rewrite_history(rng):
+    """SWSR history where one write *rewrites the initial value* —
+
+    the regime where reads of that value are ambiguous between virtual
+    write #-1 and the rewrite (feasibility-constrained attribution).
+    """
+    history = gen_swsr_history(rng)
+    writes = history.writes()
+    if writes:
+        victim = writes[rng.randrange(len(writes))]
+        old = victim.value
+        victim.value = INITIAL
+        for op in history.ops:
+            if op.kind == "read" and op.value == old:
+                op.value = INITIAL if rng.randrange(2) else "junk"
+    return history
+
+
+def gen_mwmr_history(rng):
+    """2-3 clients, each sequential, writes unique across the history."""
+    history = History()
+    clients = 2 + rng.randrange(2)
+    counter = 0
+    for client in range(clients):
+        ops = rng.randrange(1, 3)
+        start = rng.randrange(0, 5)
+        for invoke, response in _sequential_intervals(rng, ops, start):
+            if rng.randrange(2):
+                history.add("write", f"p{client}", f"v{counter}",
+                            invoke, response)
+                counter += 1
+            else:
+                value = (f"v{rng.randrange(counter)}" if counter
+                         and rng.randrange(4) else INITIAL)
+                history.add("read", f"p{client}", value, invoke, response)
+    return history
+
+
+# ----------------------------------------------------------------------
+# the properties
+# ----------------------------------------------------------------------
+class TestRegularityAgainstOracle:
+    def test_agrees_on_single_reader_histories(self):
+        rng = random.Random(1234)
+        for trial in range(300):
+            history = gen_swsr_history(rng)
+            flagged = {violation.read.op_id for violation
+                       in check_regularity(history, initial=INITIAL)}
+            for read in history.reads():
+                expected_ok = brute_read_is_regular(history, read)
+                got_ok = read.op_id not in flagged
+                assert got_ok == expected_ok, \
+                    f"trial {trial}, read {read!r}:\n{history.format()}"
+
+    def test_agrees_on_two_reader_histories(self):
+        rng = random.Random(99)
+        for trial in range(150):
+            history = gen_swsr_history(rng, readers=2)
+            flagged = {violation.read.op_id for violation
+                       in check_regularity(history, initial=INITIAL)}
+            for read in history.reads():
+                assert (read.op_id not in flagged) == \
+                    brute_read_is_regular(history, read), \
+                    f"trial {trial}:\n{history.format()}"
+
+
+class TestAtomicityAgainstOracle:
+    def test_single_reader_atomicity_iff_linearizable(self):
+        """Lamport: regular + no new/old inversion <=> linearizable."""
+        rng = random.Random(4321)
+        checked = violating = 0
+        for trial in range(300):
+            history = gen_swsr_history(rng)
+            got = is_atomic_swsr(history, initial=INITIAL)
+            expected = brute_linearizable(list(history.ops))
+            assert got == expected, f"trial {trial}:\n{history.format()}"
+            checked += 1
+            violating += not expected
+        # the generator must exercise both sides of the property
+        assert 0 < violating < checked
+
+    def test_rewriting_the_initial_value_is_supported(self):
+        """A real write of the initial value supersedes virtual write #-1
+
+        (it must not trip the written-value uniqueness check).
+        """
+        history = History()
+        history.add("write", "w", INITIAL, 1.0, 2.0)
+        history.add("read", "r0", INITIAL, 3.0, 4.0)
+        assert is_atomic_swsr(history, initial=INITIAL)
+        history = History()
+        history.add("write", "w", "w0", 1.0, 2.0)
+        history.add("write", "w", INITIAL, 3.0, 4.0)
+        history.add("read", "r0", INITIAL, 5.0, 6.0)
+        assert is_atomic_swsr(history, initial=INITIAL)
+        assert brute_linearizable(list(history.ops))
+
+    def test_initial_rewrite_does_not_misattribute_early_reads(self):
+        """A pre-write read of the initial value must not be re-attributed
+
+        to a later rewrite of that value (which would fabricate an
+        inversion on a perfectly linearizable history).
+        """
+        history = History()
+        history.add("read", "r0", INITIAL, 0.0, 0.5)   # the true initial
+        history.add("write", "w", "a", 1.0, 1.5)
+        history.add("read", "r0", "a", 2.0, 2.5)
+        history.add("write", "w", INITIAL, 3.0, 3.5)   # rewrite
+        assert brute_linearizable(list(history.ops))
+        assert find_new_old_inversions(history, initial=INITIAL) == []
+        assert is_atomic_swsr(history, initial=INITIAL)
+
+    def test_infeasible_initial_attribution_does_not_mask_inversions(self):
+        """Once a write completely precedes a read, the read of the
+
+        (rewritten) initial value can only denote the rewrite — the
+        virtual write #-1 must not suppress the inversion.
+        """
+        history = History()
+        history.add("write", "w", "a", 1.0, 2.0)
+        history.add("write", "w", INITIAL, 5.0, 9.0)     # rewrite
+        history.add("read", "r0", INITIAL, 5.5, 6.0)     # w0 precedes it
+        history.add("read", "r0", "a", 6.5, 7.0)
+        assert not brute_linearizable(list(history.ops))
+        inversions = find_new_old_inversions(history, initial=INITIAL)
+        assert len(inversions) == 1
+        assert not is_atomic_swsr(history, initial=INITIAL)
+
+    def test_future_rewrite_is_not_a_feasible_attribution(self):
+        """A stale-initial read must not be attributed to a rewrite that
+
+        starts only after the read responded (that pairing would
+        fabricate an inversion out of a pure regularity violation).
+        """
+        history = History()
+        history.add("write", "w", "a", 0.0, 1.0)
+        history.add("read", "r0", INITIAL, 10.0, 11.0)   # stale initial
+        history.add("read", "r0", "a", 20.0, 21.0)
+        history.add("write", "w", INITIAL, 100.0, 101.0)  # future rewrite
+        assert find_new_old_inversions(history, initial=INITIAL) == []
+        # the stale read is still caught — as the regularity violation
+        # it actually is
+        violations = check_regularity(history, initial=INITIAL)
+        assert [v.read.value for v in violations] == [INITIAL]
+
+    def test_atomicity_iff_linearizable_on_rewrite_histories(self):
+        """The equivalence holds on initial-rewrite histories too."""
+        rng = random.Random(777)
+        violating = 0
+        for trial in range(300):
+            history = gen_rewrite_history(rng)
+            got = is_atomic_swsr(history, initial=INITIAL)
+            expected = brute_linearizable(list(history.ops))
+            assert got == expected, f"trial {trial}:\n{history.format()}"
+            violating += not expected
+        assert violating > 0
+
+    def test_checker_search_matches_bruteforce_on_mwmr(self):
+        rng = random.Random(2718)
+        mismatches = []
+        seen_unlinearizable = 0
+        for trial in range(250):
+            history = gen_mwmr_history(rng)
+            if len(history) > 7:
+                continue
+            got = bool(check_linearizable(history, initial=INITIAL))
+            expected = brute_linearizable(list(history.ops))
+            seen_unlinearizable += not expected
+            if got != expected:
+                mismatches.append((trial, history.format()))
+        assert not mismatches, mismatches[:3]
+        assert seen_unlinearizable > 0
+
+    def test_witness_order_is_a_valid_linearization(self):
+        rng = random.Random(31415)
+        for _ in range(100):
+            history = gen_mwmr_history(rng)
+            result = check_linearizable(history, initial=INITIAL)
+            if not result.ok or not result.order:
+                continue
+            ops = result.order
+            order = list(range(len(ops)))
+            assert respects_real_time(ops, order)
+            assert register_semantics_hold(ops, order, INITIAL)
+
+
+class TestStabilizationAgainstOracle:
+    def test_find_tau_stab_matches_direct_scan(self):
+        rng = random.Random(1618)
+        for trial in range(200):
+            history = gen_swsr_history(rng)
+            for mode in ("regular", "atomic"):
+                got = find_tau_stab(history, mode=mode, initial=INITIAL,
+                                    tau_no_tr=0.0)
+                expected = brute_tau_stab(history, mode, 0.0)
+                assert got == expected, \
+                    f"trial {trial} mode {mode}:\n{history.format()}"

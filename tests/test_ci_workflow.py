@@ -17,7 +17,8 @@ def workflow():
 
 
 def test_workflow_parses_and_has_jobs(workflow):
-    assert set(workflow["jobs"]) == {"lint", "test", "perf-smoke"}
+    assert set(workflow["jobs"]) == {"lint", "test", "perf-smoke",
+                                     "fuzz-smoke"}
     # "on" parses as YAML true; accept either spelling
     assert True in workflow or "on" in workflow
 
@@ -55,6 +56,26 @@ def test_perf_smoke_job_gates_and_uploads_simcore_bench(workflow):
                if "upload-artifact" in step.get("uses", "")]
     assert uploads, "BENCH_simcore.json upload step missing"
     assert "BENCH_simcore.json" in uploads[0]["with"]["path"]
+
+
+def test_fuzz_smoke_job_gates_guards_and_uploads(workflow):
+    steps = workflow["jobs"]["fuzz-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    # strict fixed-seed budget (exit is non-zero on any violation) ...
+    assert "python -m repro.fuzz --smoke" in runs
+    # ... with a 1-vs-4-worker byte-identical determinism guard ...
+    assert "--workers 4" in runs and "--workers 1" in runs
+    assert "cmp" in runs
+    # ... the committed replay corpus re-executed ...
+    assert "tests/replays/wsn-jump-atomic.json" in runs
+    assert "REPRO_FUZZ_INJECT=burst" in runs
+    # ... and shrunk-replay artifacts uploaded (also on failure).
+    uploads = [step for step in steps
+               if "upload-artifact" in step.get("uses", "")]
+    assert uploads, "fuzz artifact upload step missing"
+    assert uploads[0]["if"] == "always()"
+    assert "fuzz-artifacts/" in uploads[0]["with"]["path"]
+    assert "fuzz-results.json" in uploads[0]["with"]["path"]
 
 
 def test_lint_job_uses_ruff(workflow):

@@ -1,0 +1,61 @@
+"""Cross-version golden seeds: the determinism keystone, pinned.
+
+Every fuzz case seed is routed through the runner's hash-derived scheme
+(``repro.runner.spec.derive_seed``: SHA-256 over spec name + params +
+replicate, never ``hash()``), and case *contents* are sampled with
+cross-version-stable Mersenne-Twister primitives only.  These tests pin
+concrete values so any Python upgrade (the CI matrix spans 3.10-3.12) or
+accidental change to the derivation breaks loudly instead of silently
+reshuffling every campaign.
+"""
+
+import json
+import os
+
+from repro.fuzz.campaign import campaign_spec
+from repro.fuzz.cli import SMOKE_CASES, SMOKE_SEED
+from repro.fuzz.gen import generate_case
+from repro.runner.spec import derive_seed
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: first six hash-derived case seeds of the CI smoke campaign.
+SMOKE_GOLDEN_SEEDS = [3908153077, 422219815, 2619796866, 2004511552,
+                      2559536705, 4137266381]
+
+#: first four case seeds of campaign seed 7 (an arbitrary second pin).
+SEED7_GOLDEN_SEEDS = [2385743048, 1759629421, 2667646187, 3456191074]
+
+
+def test_derive_seed_is_pinned():
+    assert derive_seed("golden", "fuzz", {"a": 1}, 0) == 454666238
+
+
+def test_smoke_campaign_seeds_are_pinned():
+    spec = campaign_spec(SMOKE_SEED, SMOKE_CASES)
+    seeds = [cell.seed for cell in spec.cells()]
+    assert seeds[:6] == SMOKE_GOLDEN_SEEDS
+    # hash-derived seeds: all distinct, none accidentally sequential.
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_secondary_campaign_seeds_are_pinned():
+    spec = campaign_spec(7, 4)
+    assert [cell.seed for cell in spec.cells()] == SEED7_GOLDEN_SEEDS
+
+
+def test_case_seeds_route_through_hash_derivation():
+    """The spec's replicate derivation *is* the case-seed scheme."""
+    spec = campaign_spec(7, 4)
+    base = {"profile": spec.base["profile"]}
+    for replicate, cell in enumerate(spec.cells()):
+        assert cell.seed == derive_seed("fuzz-7", "fuzz", base, replicate)
+
+
+def test_generated_case_matches_golden_fixture():
+    """Full sampled case == committed golden JSON (MT stability guard)."""
+    with open(os.path.join(GOLDEN_DIR, "fuzz_case_smoke0.json"),
+              encoding="utf-8") as handle:
+        golden = json.load(handle)
+    case = generate_case(SMOKE_GOLDEN_SEEDS[0])
+    assert case.to_dict() == golden

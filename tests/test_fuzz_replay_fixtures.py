@@ -1,0 +1,61 @@
+"""The committed replay corpus under tests/replays/ must keep replaying.
+
+Every artifact is loaded and re-executed.  Expectations are encoded per
+fixture (see tests/replays/README.md): the real ``wsn-jump-atomic``
+counterexample documents the Lemma 13 boundary and must keep reproducing;
+the synthetic ``injected-burst`` fixture reproduces exactly when the
+test-only hook environment it records is set.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz.harness import INJECT_ENV
+from repro.fuzz.replay import ReplayArtifact, replay
+
+REPLAY_DIR = os.path.join(os.path.dirname(__file__), "replays")
+ARTIFACTS = sorted(glob.glob(os.path.join(REPLAY_DIR, "*.json")))
+
+
+def test_corpus_is_nonempty():
+    names = {os.path.basename(path) for path in ARTIFACTS}
+    assert {"wsn-jump-atomic.json", "injected-burst.json"} <= names
+
+
+@pytest.mark.parametrize("path", ARTIFACTS,
+                         ids=[os.path.basename(p) for p in ARTIFACTS])
+def test_artifact_parses_and_is_self_contained(path):
+    artifact = ReplayArtifact.load(path)
+    assert artifact.case.num_reads >= 1
+    assert artifact.signature, "artifact without recorded violations"
+    assert artifact.shrink is not None
+    assert artifact.original_case is not None
+    # shrinking never grows the timeline
+    assert len(artifact.case.timeline) <= \
+        len(artifact.original_case.timeline)
+
+
+def test_wsn_jump_reproduces_without_any_env(monkeypatch):
+    """A model property, not a bug: the bounded-wsn ring jump persists."""
+    monkeypatch.delenv(INJECT_ENV, raising=False)
+    artifact = ReplayArtifact.load(
+        os.path.join(REPLAY_DIR, "wsn-jump-atomic.json"))
+    assert artifact.requires_env is None
+    outcome = replay(artifact)
+    assert outcome.reproduced
+    assert "regularity" in outcome.outcome.signature
+
+
+def test_injected_fixture_tracks_its_environment(monkeypatch):
+    artifact = ReplayArtifact.load(
+        os.path.join(REPLAY_DIR, "injected-burst.json"))
+    assert artifact.requires_env == {INJECT_ENV: "burst"}
+    monkeypatch.delenv(INJECT_ENV, raising=False)
+    clean = replay(artifact)
+    assert not clean.reproduced and clean.outcome.ok
+    assert clean.missing_env == [INJECT_ENV]
+    monkeypatch.setenv(INJECT_ENV, "burst")
+    hooked = replay(artifact)
+    assert hooked.reproduced and not hooked.missing_env
