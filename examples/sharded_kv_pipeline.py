@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Sharded, pipelined KV store: scale-out and blast-radius isolation.
+
+Builds a 4-shard :class:`~repro.kvstore.sharded.ShardedKVStore` (each
+shard its own 9-server Byzantine-tolerant cluster), pushes a batch of
+operations through the client-side :class:`~repro.kvstore.pipeline
+.Pipeline`, then wrecks *one* shard — a transient burst plus a Byzantine
+server, installed through a declarative ``FaultTimeline`` — and shows
+that (a) the other shards never notice and (b) the wrecked shard
+self-stabilizes once writes resume.
+
+Run:  python examples/sharded_kv_pipeline.py
+"""
+
+from repro.faults.schedule import FaultTimeline
+from repro.kvstore import Pipeline, build_sharded_kv_store
+
+
+def main() -> None:
+    store = build_sharded_kv_store(shard_count=4, n=9, t=1, seed=2026,
+                                   client_count=2)
+    print(f"sharded KV store up: {store.shard_count} shards x "
+          f"{store.group[0].params.n} servers, clients {store.client_pids}\n")
+
+    # --- phase 1: pipelined writes spread across all shards -------------
+    pipe = Pipeline(store)
+    users = [f"user:{name}" for name in
+             ("alice", "bob", "carol", "dave", "erin", "frank")]
+    for index, user in enumerate(users):
+        pipe.put(store.client_pids[index % 2], user, {"quota": 10 + index})
+    pipe.flush()
+    placement = {user: store.shard_for(user) for user in users}
+    print("placement (consistent hashing):")
+    for user, shard in sorted(placement.items(), key=lambda kv: kv[1]):
+        print(f"  shard {shard}  {user}")
+
+    # --- phase 2: one shard has a very bad day ---------------------------
+    victim = placement["user:alice"]
+    anchor = store.group[victim].now
+    timeline = (FaultTimeline()
+                .burst(anchor + 1.0, fraction=0.2, targets="servers")
+                .byzantine(anchor + 2.0, [store.group[victim].server_ids[-1]],
+                           "random-garbage"))
+    store.install_timeline(victim, timeline)
+    store.group[victim].run(until=anchor + 3.0)
+    print(f"\nshard {victim}: transient burst + Byzantine "
+          f"{store.group[victim].byzantine_ids} installed")
+    healthy = [s for s in range(store.shard_count) if s != victim]
+    print(f"other shards untouched (byzantine sets: "
+          f"{[store.group[s].byzantine_ids for s in healthy]})")
+
+    # --- phase 3: the workload keeps flowing -----------------------------
+    for index, user in enumerate(users):
+        pipe.put(store.client_pids[index % 2], user, {"quota": 99})
+    pipe.flush()
+    reads = [pipe.get(store.client_pids[(index + 1) % 2], user)
+             for index, user in enumerate(users)]
+    pipe.flush()
+    print("\nreads after the faults (writes repaired the victim shard):")
+    for user, read in zip(users, reads):
+        print(f"  shard {placement[user]}  {user} -> {read.result}")
+
+    print(f"\ntotal simulated messages across shards: "
+          f"{store.messages_sent}")
+    print(f"per-shard clocks: "
+          f"{[round(cluster.now, 1) for cluster in store.group]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,24 +32,30 @@ from .registers import (BOT, Cluster, ClusterConfig, Epoch, EpochLabeling,
                         build_mwmr, build_swmr, build_swsr_atomic,
                         build_swsr_regular)
 from .faults import FaultTimeline
+from .kvstore import (Pipeline, ShardedKVStore, StabilizingKVStore,
+                      build_kv_store, build_sharded_kv_store)
 from .runner import (CellResult, SweepResult, SweepSpec, run_sweep,
                      smoke_specs)
-from .workloads import (ScenarioResult, ScenarioSummary,
-                        run_mobile_byzantine_scenario, run_mwmr_scenario,
-                        run_partition_scenario, run_swsr_scenario)
+from .workloads import (KVScenarioResult, ScenarioResult, ScenarioSummary,
+                        run_kv_scenario, run_mobile_byzantine_scenario,
+                        run_mwmr_scenario, run_partition_scenario,
+                        run_swsr_scenario)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BOT", "CellResult", "Cluster", "ClusterConfig", "Epoch", "EpochLabeling",
     "FaultTimeline",
-    "History", "MWMRRegister", "Operation", "QuorumParams", "SWMRRegister",
-    "ScenarioResult", "ScenarioSummary", "SweepResult", "SweepSpec",
-    "WsnConfig", "__version__", "build_mwmr", "build_swmr",
+    "History", "KVScenarioResult", "MWMRRegister", "Operation", "Pipeline",
+    "QuorumParams", "SWMRRegister",
+    "ScenarioResult", "ScenarioSummary", "ShardedKVStore",
+    "StabilizingKVStore", "SweepResult", "SweepSpec",
+    "WsnConfig", "__version__", "build_kv_store", "build_mwmr",
+    "build_sharded_kv_store", "build_swmr",
     "build_swsr_atomic", "build_swsr_regular", "check_atomic_swsr",
     "check_linearizable", "check_regularity", "find_new_old_inversions",
     "find_tau_stab", "is_atomic_swsr", "is_regular",
-    "run_mobile_byzantine_scenario", "run_mwmr_scenario",
+    "run_kv_scenario", "run_mobile_byzantine_scenario", "run_mwmr_scenario",
     "run_partition_scenario",
     "run_swsr_scenario", "run_sweep", "smoke_specs", "stabilization_report",
 ]

@@ -156,6 +156,21 @@ class FaultTimeline:
             self.byzantine(time, byz_set, strategy)
         return self
 
+    def shifted(self, offset: float) -> "FaultTimeline":
+        """A copy with every event time moved by ``offset``.
+
+        Lets a *relative* timeline (authored as "burst 2 time units in")
+        be installed on a cluster whose clock has already advanced — the
+        sharded KV scenarios anchor per-shard timelines this way.
+
+        >>> timeline = FaultTimeline().burst(2.0, fraction=0.5)
+        >>> [event.time for event in timeline.shifted(10.0).events]
+        [12.0]
+        """
+        return FaultTimeline(
+            TimelineEvent(event.time + offset, event.kind, dict(event.args))
+            for event in self.events)
+
     # -- τ timeline --------------------------------------------------------
     @property
     def tau_no_tr(self) -> float:

@@ -31,27 +31,62 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..runner.engine import run_sweep
 from ..runner.results import CellResult
 from ..runner.spec import SweepSpec
-from .gen import DEFAULT_PROFILE, FuzzCase, FuzzProfile, generate_case
+from .gen import (DEFAULT_PROFILE, FuzzCase, FuzzProfile, generate_case,
+                  generate_kv_case)
 from .harness import confirm_case, run_case
 from .replay import ReplayArtifact, current_inject_env
 from .shrink import shrink_case
 
+#: case families the campaign can run (the CLI's ``--family``).
+FAMILIES = ("swsr", "kv")
+
+
+def _generator(family: str):
+    """The family's case generator, resolved at call time (tests
+    monkeypatch the module-level names)."""
+    if family not in FAMILIES:
+        raise ValueError(f"unknown fuzz family {family!r} "
+                         f"(expected one of {FAMILIES})")
+    return generate_kv_case if family == "kv" else generate_case
+
+
+def spec_name(campaign_seed: int, family: str) -> str:
+    """The campaign's sweep-spec name — one source of truth.
+
+    The default family's name (and base) is frozen by the golden-seed
+    tests; non-default families get their own namespace so their derived
+    case seeds never collide with historical pins.
+    """
+    if family == "swsr":
+        return f"fuzz-{campaign_seed}"
+    return f"fuzz-{family}-{campaign_seed}"
+
 
 def campaign_spec(campaign_seed: int, cases: int,
-                  profile: FuzzProfile = DEFAULT_PROFILE) -> SweepSpec:
-    """The sweep spec a campaign expands to (one replicate per case)."""
-    return SweepSpec(
-        name=f"fuzz-{campaign_seed}", scenario="fuzz",
-        base={"profile": profile.to_dict()},
-        grid={}, seeds=list(range(cases)))
+                  profile: FuzzProfile = DEFAULT_PROFILE,
+                  family: str = "swsr") -> SweepSpec:
+    """The sweep spec a campaign expands to (one replicate per case).
+
+    The default family's spec (name *and* base parameters) is frozen by
+    the golden-seed tests — the ``family`` key joins the base only for
+    non-default families, so historical case seeds stay pinned.
+    """
+    _generator(family)          # validate the family name
+    base: Dict[str, Any] = {"profile": profile.to_dict()}
+    if family != "swsr":
+        base["family"] = family
+    return SweepSpec(name=spec_name(campaign_seed, family),
+                     scenario="fuzz", base=base,
+                     grid={}, seeds=list(range(cases)))
 
 
 def campaign_cases(campaign_seed: int, cases: int,
-                   profile: FuzzProfile = DEFAULT_PROFILE
-                   ) -> List[Tuple[str, FuzzCase]]:
+                   profile: FuzzProfile = DEFAULT_PROFILE,
+                   family: str = "swsr") -> List[Tuple[str, Any]]:
     """(cell id, generated case) pairs, without running anything."""
-    spec = campaign_spec(campaign_seed, cases, profile)
-    return [(cell.cell_id, generate_case(cell.seed, profile))
+    spec = campaign_spec(campaign_seed, cases, profile, family=family)
+    generate = _generator(family)
+    return [(cell.cell_id, generate(cell.seed, profile))
             for cell in spec.cells()]
 
 
@@ -94,6 +129,7 @@ class FuzzCampaignResult:
     failures: List[CampaignFailure] = field(default_factory=list)
     workers: int = 1
     wall_seconds: float = 0.0
+    family: str = "swsr"
 
     @property
     def all_ok(self) -> bool:
@@ -104,9 +140,10 @@ class FuzzCampaignResult:
         document = {
             "campaign": {
                 "cases": self.cases,
+                "family": self.family,
                 "profile": self.profile.to_dict(),
                 "seed": self.campaign_seed,
-                "spec_name": f"fuzz-{self.campaign_seed}",
+                "spec_name": spec_name(self.campaign_seed, self.family),
             },
             "cells": [cell.to_dict()
                       for cell in sorted(self.cells,
@@ -126,7 +163,8 @@ def _artifact_name(cell_id: str) -> str:
 
 def _shrink_failure(cell: CellResult, profile: FuzzProfile,
                     campaign_seed: int, shrink_budget: int,
-                    artifacts_dir: Optional[str]) -> CampaignFailure:
+                    artifacts_dir: Optional[str],
+                    family: str = "swsr") -> CampaignFailure:
     """Confirm one suspicious cell inline, shrink it, emit the artifact.
 
     The FullTrace confirmation of the *original* case is what
@@ -135,7 +173,7 @@ def _shrink_failure(cell: CellResult, profile: FuzzProfile,
     oracle, and the shrunk case gets its own FullTrace confirmation —
     again digest-cross-checked — for the artifact.
     """
-    case = generate_case(cell.seed, profile)
+    case = _generator(family)(cell.seed, profile)
     fast = run_case(case, backend="null")
     full = confirm_case(case, fast)
     if not fast.ok and shrink_budget >= 1:
@@ -187,10 +225,11 @@ def _shrink_failure(cell: CellResult, profile: FuzzProfile,
 def run_campaign(campaign_seed: int, cases: int, workers: int = 1,
                  profile: FuzzProfile = DEFAULT_PROFILE,
                  artifacts_dir: Optional[str] = None,
-                 shrink_budget: int = 200) -> FuzzCampaignResult:
+                 shrink_budget: int = 200,
+                 family: str = "swsr") -> FuzzCampaignResult:
     """Run a full campaign: fan out, confirm, shrink, emit artifacts."""
     started = time.perf_counter()
-    spec = campaign_spec(campaign_seed, cases, profile)
+    spec = campaign_spec(campaign_seed, cases, profile, family=family)
     sweep = run_sweep(spec, workers=workers)
     failures = []
     for cell in sweep.cells:
@@ -198,7 +237,8 @@ def run_campaign(campaign_seed: int, cases: int, workers: int = 1,
             continue
         try:
             failures.append(_shrink_failure(cell, profile, campaign_seed,
-                                            shrink_budget, artifacts_dir))
+                                            shrink_budget, artifacts_dir,
+                                            family=family))
         except Exception as exc:  # noqa: BLE001 - cells must not kill
             # the campaign: a generator/confirmation crash in the parent
             # still yields a failure record (and the other artifacts).
@@ -210,4 +250,4 @@ def run_campaign(campaign_seed: int, cases: int, workers: int = 1,
     return FuzzCampaignResult(
         campaign_seed=campaign_seed, cases=cases, profile=profile,
         cells=sweep.cells, failures=failures, workers=workers,
-        wall_seconds=time.perf_counter() - started)
+        wall_seconds=time.perf_counter() - started, family=family)

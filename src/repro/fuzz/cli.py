@@ -44,6 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "derived from it; default 0)")
     parser.add_argument("--cases", type=int, default=None, metavar="N",
                         help="number of generated cases (default 50)")
+    parser.add_argument("--family", choices=("swsr", "kv"),
+                        default="swsr",
+                        help="case family: single register pairs under "
+                             "fault timelines (swsr, default) or sharded "
+                             "KV workloads (kv)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker processes for the fast-path fan-out")
     parser.add_argument("--smoke", action="store_true",
@@ -103,12 +108,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     args.cases = 50 if args.cases is None else args.cases
 
     if args.dry_run:
-        for cell_id, case in campaign_cases(args.seed, args.cases):
-            print(f"{cell_id}  seed={case.seed}  kind={case.kind} "
-                  f"n={case.n} t={case.t} {case.transport} "
-                  f"w/r={case.num_writes}/{case.num_reads} "
-                  f"byz={case.byzantine_count}:{case.byzantine_strategy} "
-                  f"events={len(case.timeline)}")
+        for cell_id, case in campaign_cases(args.seed, args.cases,
+                                            family=args.family):
+            if args.family == "kv":
+                print(f"{cell_id}  seed={case.seed}  "
+                      f"shards={case.shard_count} n={case.n} t={case.t} "
+                      f"clients={case.client_count} keys={case.num_keys} "
+                      f"rounds={case.rounds} "
+                      f"byz={case.byzantine_count}:"
+                      f"{case.byzantine_strategy} "
+                      f"events={len(case.timeline)}")
+            else:
+                print(f"{cell_id}  seed={case.seed}  kind={case.kind} "
+                      f"n={case.n} t={case.t} {case.transport} "
+                      f"w/r={case.num_writes}/{case.num_reads} "
+                      f"byz={case.byzantine_count}:"
+                      f"{case.byzantine_strategy} "
+                      f"events={len(case.timeline)}")
         if not args.quiet:
             print(f"{args.cases} cases from campaign seed {args.seed}")
         return 0
@@ -116,7 +132,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     result = run_campaign(args.seed, args.cases, workers=args.workers,
                           profile=DEFAULT_PROFILE,
                           artifacts_dir=args.artifacts,
-                          shrink_budget=args.shrink_budget)
+                          shrink_budget=args.shrink_budget,
+                          family=args.family)
     if args.out:
         result.write(args.out)
     if not args.quiet:

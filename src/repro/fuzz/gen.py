@@ -176,6 +176,85 @@ class FuzzCase:
             for event in events))
 
 
+@dataclass(frozen=True)
+class KVFuzzCase:
+    """One generated *sharded KV* experiment (the ``kv`` fuzz family).
+
+    Mirrors :class:`FuzzCase` for :func:`~repro.workloads.scenarios
+    .run_kv_scenario`: topology, shard/client/key counts, a static
+    Byzantine placement (per shard) and per-shard fault-timeline events.
+    Timeline events are stored flattened, each carrying its ``shard``
+    index, so the ddmin shrinker can drop them one by one exactly like
+    SWSR events; :meth:`scenario_kwargs` regroups them per shard.  Event
+    times are *relative* — the scenario anchors them to each shard's
+    clock after the key-creation phase.
+    """
+
+    seed: int
+    shard_count: int
+    n: int
+    t: int
+    client_count: int
+    num_keys: int
+    rounds: int
+    byzantine_count: int
+    byzantine_strategy: str
+    timeline: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
+    max_events: int = 4_000_000
+
+    # -- derived -----------------------------------------------------------
+    def scenario_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for ``run_kv_scenario`` (minus backend)."""
+        per_shard: Dict[int, List[Dict[str, Any]]] = {}
+        for event in self.timeline:
+            entry = {key: value for key, value in event.items()
+                     if key != "shard"}
+            per_shard.setdefault(int(event["shard"]), []).append(entry)
+        return {
+            "shard_count": self.shard_count, "n": self.n, "t": self.t,
+            "seed": self.seed, "client_count": self.client_count,
+            "num_keys": self.num_keys, "rounds": self.rounds,
+            "byzantine_count": self.byzantine_count,
+            "byzantine_strategy": self.byzantine_strategy,
+            "fault_timelines": {shard: {"events": events}
+                                for shard, events in per_shard.items()},
+            "max_events": self.max_events,
+        }
+
+    # -- (de)serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["timeline"] = [dict(event) for event in self.timeline]
+        data["family"] = "kv"
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "KVFuzzCase":
+        fields = {key: value for key, value in data.items()
+                  if key != "family"}
+        fields["timeline"] = tuple(
+            {"time": float(event["time"]), "kind": event["kind"],
+             "args": dict(event.get("args") or {}),
+             "shard": int(event["shard"])}
+            for event in (fields.get("timeline") or ()))
+        try:
+            return cls(**fields)
+        except TypeError as exc:   # missing or unknown fields
+            raise ValueError(f"malformed kv fuzz case: {exc}") from None
+
+    def with_timeline(self, events) -> "KVFuzzCase":
+        """Copy with a replacement event list (shrinker hook)."""
+        return replace(self, timeline=tuple(dict(event)
+                                            for event in events))
+
+
+def case_from_dict(data: Dict[str, Any]):
+    """Load either fuzz-case family from its dict rendering."""
+    if data.get("family") == "kv" or "shard_count" in data:
+        return KVFuzzCase.from_dict(data)
+    return FuzzCase.from_dict(data)
+
+
 def _sample_transient_events(rng: random.Random, profile: FuzzProfile,
                              server_ids: List[str], transport: str,
                              static_byz: int, kind_reg: str
@@ -262,7 +341,14 @@ def _sample_rotations(rng: random.Random, profile: FuzzProfile,
 
 def generate_case(seed: int,
                   profile: FuzzProfile = DEFAULT_PROFILE) -> FuzzCase:
-    """The pure generator: ``(seed, profile) -> FuzzCase``."""
+    """The pure generator: ``(seed, profile) -> FuzzCase``.
+
+    >>> case = generate_case(7)
+    >>> case == generate_case(7)                 # pure function of seed
+    True
+    >>> case.n >= 8 * case.t + 1                 # resilience envelope
+    True
+    """
     rng = random.Random(seed)
     n, t = TOPOLOGIES[rng.randrange(len(TOPOLOGIES))]
     kind = rng.choice(["regular", "atomic"])
@@ -296,5 +382,91 @@ def generate_case(seed: int,
         seed=seed, kind=kind, n=n, t=t, transport=transport,
         num_writes=num_writes, num_reads=num_reads, op_gap=op_gap,
         reader_offset=reader_offset, byzantine_count=byzantine_count,
+        byzantine_strategy=byzantine_strategy,
+        timeline=tuple(events), max_events=profile.max_events)
+
+
+# ----------------------------------------------------------------------
+# the kv family
+# ----------------------------------------------------------------------
+#: static adversaries safe for the sharded KV stack.  Strategies are
+#: per-shard (at most ``t`` servers each), all responsive or within the
+#: ``n - t`` wait's silent budget.
+KV_STRATEGIES = ("silent", "stale", "random-garbage", "equivocate",
+                 "flip-flop")
+
+#: burst fractions stay partial: a burst corrupting *every* server copy
+#: of a per-key register livelocks the MWMR scan until the owner
+#: rewrites (run_kv_scenario's documented liveness caveat).
+KV_MAX_BURST_FRACTION = 0.2
+
+
+def _sample_kv_shard_events(rng: random.Random, profile: FuzzProfile,
+                            shard_count: int, server_ids: List[str],
+                            static_byz: int) -> List[Dict[str, Any]]:
+    """Pre-workload transient events, each pinned to one shard.
+
+    All relative times land in ``(0.5, 6.0)`` and every crash/partition
+    resolves before the workload (the scenario anchors τ per shard to
+    the last event).  Groups come from the server-list tail so they
+    never overlap the static Byzantine prefix.
+    """
+    events: List[Dict[str, Any]] = []
+    count = rng.randrange(profile.max_transient_events + 1)
+    for _ in range(count):
+        shard = rng.randrange(shard_count)
+        kind = rng.choice(["burst", "partition", "crash"])
+        time = _quantize(rng.uniform(0.5, 6.0))
+        if kind == "burst":
+            fraction = _quantize(rng.uniform(0.05, KV_MAX_BURST_FRACTION))
+            events.append({"time": time, "kind": "burst",
+                           "args": {"fraction": fraction,
+                                    "targets": "servers"},
+                           "shard": shard})
+        else:
+            tail = server_ids[static_byz:]
+            group = sorted(_pick_subset(rng, tail, 1))
+            end = _quantize(time + rng.uniform(0.5, 2.0))
+            if kind == "partition":
+                events.append({"time": time, "kind": "partition",
+                               "args": {"group": group}, "shard": shard})
+                events.append({"time": end, "kind": "heal",
+                               "args": {"group": group}, "shard": shard})
+            else:
+                events.append({"time": time, "kind": "crash",
+                               "args": {"servers": group}, "shard": shard})
+                events.append({"time": end, "kind": "recover",
+                               "args": {"servers": group,
+                                        "corrupt": rng.random() < 0.8},
+                               "shard": shard})
+    return events
+
+
+def generate_kv_case(seed: int,
+                     profile: FuzzProfile = DEFAULT_PROFILE) -> KVFuzzCase:
+    """The pure kv-family generator: ``(seed, profile) -> KVFuzzCase``.
+
+    >>> case = generate_kv_case(7)
+    >>> case == generate_kv_case(7)
+    True
+    >>> 1 <= case.shard_count <= 3
+    True
+    """
+    rng = random.Random(seed)
+    shard_count = 1 + rng.randrange(3)
+    n, t = 9, 1
+    client_count = 1 + rng.randrange(3)
+    num_keys = 1 + rng.randrange(5)
+    rounds = 1 + rng.randrange(3)
+    byzantine_count = rng.randrange(t + 1)
+    byzantine_strategy = rng.choice(list(KV_STRATEGIES))
+    server_ids = [server_name(i) for i in range(n)]
+    events = _sample_kv_shard_events(rng, profile, shard_count, server_ids,
+                                     byzantine_count)
+    events.sort(key=lambda event: (event["shard"], event["time"]))
+    return KVFuzzCase(
+        seed=seed, shard_count=shard_count, n=n, t=t,
+        client_count=client_count, num_keys=num_keys, rounds=rounds,
+        byzantine_count=byzantine_count,
         byzantine_strategy=byzantine_strategy,
         timeline=tuple(events), max_events=profile.max_events)

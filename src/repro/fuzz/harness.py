@@ -29,8 +29,9 @@ from ..checkers.atomicity import find_new_old_inversions
 from ..checkers.regularity import check_regularity
 from ..checkers.stabilization import stabilization_report
 from ..runner.adapters import counters_from
-from ..workloads.scenarios import history_digest, run_swsr_scenario
-from .gen import INITIAL, FuzzCase
+from ..workloads.scenarios import (history_digest, run_kv_scenario,
+                                   run_swsr_scenario)
+from .gen import INITIAL, FuzzCase, KVFuzzCase
 
 #: environment variable enabling the test-only injection hook.
 INJECT_ENV = "REPRO_FUZZ_INJECT"
@@ -104,15 +105,71 @@ def _violation_details(history, case: FuzzCase, tau: float
     return details
 
 
-def run_case(case: FuzzCase, backend: str = "null",
+def _run_kv_case(case: KVFuzzCase, backend: str = "null",
+                 detail: bool = False) -> CaseOutcome:
+    """Execute a kv-family case: per-key post-τ linearizability verdict.
+
+    ``detail=True`` (the FullTrace confirmation pass) additionally lists
+    the failing key's concrete post-τ operations, so kv replay artifacts
+    are as triagable as SWSR ones.
+    """
+    try:
+        result = run_kv_scenario(trace_backend=backend,
+                                 **case.scenario_kwargs())
+    except Exception as exc:  # noqa: BLE001 - cases must not kill campaigns
+        return CaseOutcome(
+            case=case, backend=backend, completed=False, stable=None,
+            ok=False,
+            violations=[{"kind": f"error:{type(exc).__name__}",
+                         "detail": str(exc)}])
+    violations: List[Dict[str, Any]] = []
+    if not result.completed:
+        violations.append({
+            "kind": "incomplete",
+            "detail": "operations did not terminate within "
+                      f"max_events={case.max_events}"})
+    else:
+        for key in sorted(result.per_key_linearizable):
+            if not result.per_key_linearizable[key]:
+                shard = result.store.shard_for(key)
+                entry = (f"key {key!r} (shard {shard}) post-tau "
+                         "history does not linearize")
+                if detail:
+                    tau = result.tau_by_shard[shard]
+                    ops = [repr(op) for op in sorted(
+                        result.history.ops,
+                        key=lambda op: (op.invoke, op.response))
+                        if op.register == f"kv/{key}"
+                        and op.invoke >= tau]
+                    entry += "; ops: " + " | ".join(ops)
+                violations.append({"kind": "kv-linearizability",
+                                   "detail": entry})
+    violations.extend(_injected_violations(case))
+    summary = result.summarize()
+    counters = counters_from(summary)
+    counters["timeline_events"] = len(case.timeline)
+    counters["shards"] = case.shard_count
+    timings = {"sim_end": summary.sim_end, "tau_no_tr": result.tau_no_tr}
+    return CaseOutcome(
+        case=case, backend=backend, completed=result.completed,
+        stable=summary.stable, ok=not violations, violations=violations,
+        counters=counters, timings=timings,
+        history_digest=history_digest(result.history))
+
+
+def run_case(case, backend: str = "null",
              detail: bool = False) -> CaseOutcome:
     """Execute ``case`` on the given trace backend and judge it.
 
-    ``detail=True`` (the FullTrace confirmation pass) additionally lists
-    the concrete violating reads; the fast path only needs the boolean
-    verdict.  A raising scenario is *contained* as an ``error:<Type>``
-    violation so shrinking works uniformly on crashes too.
+    Dispatches on the case family (:class:`FuzzCase` → SWSR scenario,
+    :class:`KVFuzzCase` → sharded KV scenario).  ``detail=True`` (the
+    FullTrace confirmation pass) additionally lists the concrete
+    violating reads; the fast path only needs the boolean verdict.  A
+    raising scenario is *contained* as an ``error:<Type>`` violation so
+    shrinking works uniformly on crashes too.
     """
+    if isinstance(case, KVFuzzCase):
+        return _run_kv_case(case, backend, detail=detail)
     try:
         result = run_swsr_scenario(trace_backend=backend,
                                    **case.scenario_kwargs())
@@ -173,7 +230,7 @@ def run_case(case: FuzzCase, backend: str = "null",
         history_digest=history_digest(result.history))
 
 
-def confirm_case(case: FuzzCase,
+def confirm_case(case,
                  fast: Optional[CaseOutcome] = None) -> CaseOutcome:
     """FullTrace re-run of a suspicious case, with violation details.
 

@@ -19,7 +19,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from .gen import FuzzCase
+from .gen import FuzzCase, case_from_dict
 from .harness import INJECT_ENV, CaseOutcome, confirm_case, run_case
 
 FORMAT = "repro.fuzz.replay/1"
@@ -68,9 +68,9 @@ class ReplayArtifact:
                              f"(format={data.get('format')!r}, "
                              f"expected {FORMAT!r})")
         return cls(
-            case=FuzzCase.from_dict(data["case"]),
+            case=case_from_dict(data["case"]),
             violations=list(data.get("violations") or []),
-            original_case=(FuzzCase.from_dict(data["original_case"])
+            original_case=(case_from_dict(data["original_case"])
                            if data.get("original_case") else None),
             shrink=data.get("shrink"),
             outcome=data.get("outcome"),

@@ -22,7 +22,7 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .gen import FuzzCase
+from .gen import FuzzCase, KVFuzzCase
 from .harness import CaseOutcome, run_case
 
 Oracle = Callable[[FuzzCase], CaseOutcome]
@@ -145,8 +145,42 @@ def _max_referenced_server(case: FuzzCase) -> int:
     return highest
 
 
+def _kv_parameter_candidates(case: KVFuzzCase
+                             ) -> List[Tuple[str, KVFuzzCase]]:
+    """Reduction ladder for kv-family cases (fewer rounds/keys/clients).
+
+    Event-argument rounding deliberately leaves burst fractions alone:
+    pushing a fraction up livelocks the MWMR scan (the documented
+    liveness caveat), which would change the failure signature and just
+    waste oracle calls.
+    """
+    candidates: List[Tuple[str, KVFuzzCase]] = []
+
+    def propose(label: str, **changes: Any) -> None:
+        candidate = replace(case, **changes)
+        if candidate != case:
+            candidates.append((label, candidate))
+
+    for target in (1, case.rounds // 2):
+        if 1 <= target < case.rounds:
+            propose(f"rounds={target}", rounds=target)
+    for target in (1, case.num_keys // 2):
+        if 1 <= target < case.num_keys:
+            propose(f"num_keys={target}", num_keys=target)
+    if case.client_count > 1:
+        propose("client_count=1", client_count=1)
+    if case.byzantine_count > 0:
+        propose("byzantine_count=0", byzantine_count=0)
+    if case.shard_count > 1 and not any(
+            int(event.get("shard", 0)) > 0 for event in case.timeline):
+        propose("shard_count=1", shard_count=1)
+    return candidates
+
+
 def _parameter_candidates(case: FuzzCase) -> List[Tuple[str, FuzzCase]]:
     """Ordered single-parameter reductions to try (biggest wins first)."""
+    if isinstance(case, KVFuzzCase):
+        return _kv_parameter_candidates(case)
     candidates: List[Tuple[str, FuzzCase]] = []
 
     def propose(label: str, **changes: Any) -> None:

@@ -1,5 +1,24 @@
-"""Byzantine fault-tolerant, self-stabilizing key-value store facade."""
+"""Byzantine fault-tolerant, self-stabilizing key-value store service.
 
+Two deployment shapes behind one vocabulary:
+
+* :class:`StabilizingKVStore` — every key on one shared server pool (the
+  original facade; simplest to reason about, one operation at a time);
+* :class:`ShardedKVStore` — keys consistent-hashed across independent
+  pools that fail independently, with :class:`Pipeline` keeping many
+  operations in flight per client.
+
+See ``docs/ARCHITECTURE.md`` ("kvstore — the service layer") for how
+this layer sits on top of the register constructions.
+"""
+
+from .pipeline import Pipeline, PipelineHandle
+from .sharded import ShardedKVStore, build_sharded_kv_store
+from .sharding import HashRing, derive_shard_seed
 from .store import StabilizingKVStore, build_kv_store
 
-__all__ = ["StabilizingKVStore", "build_kv_store"]
+__all__ = [
+    "HashRing", "Pipeline", "PipelineHandle", "ShardedKVStore",
+    "StabilizingKVStore", "build_kv_store", "build_sharded_kv_store",
+    "derive_shard_seed",
+]

@@ -1,0 +1,86 @@
+"""Key placement: a consistent-hash ring plus hash-derived shard seeds.
+
+Both primitives follow the determinism discipline PR 1 established for
+the sweep runner (``repro.runner.spec.derive_seed``): placement and seeds
+are pure functions of their inputs, computed with ``hashlib`` — never
+``hash()``, whose per-process randomization would scatter keys (and
+executions) across runs.
+
+* :class:`HashRing` — classic consistent hashing: every shard owns
+  ``vnodes`` points on a 64-bit ring; a key lands on the first point at
+  or after its own hash.  Growing the ring from ``S`` to ``S + 1`` shards
+  moves only ~``1/(S+1)`` of the keys (see
+  ``tests/test_kvstore_sharded.py::TestHashRing``), which is the property
+  that makes resharding a production store incremental rather than a full
+  reshuffle.
+* :func:`derive_shard_seed` — per-shard simulation seeds, hash-derived
+  from the store seed and the shard index so independent shards never
+  share a random stream (two pools with the same seed would produce
+  eerily correlated "independent" failures).
+
+>>> ring = HashRing(4)
+>>> ring.shard_for("user:alice") == ring.shard_for("user:alice")
+True
+>>> sorted({ring.shard_for(f"k{i}") for i in range(64)})
+[0, 1, 2, 3]
+>>> derive_shard_seed(0, 0) != derive_shard_seed(0, 1)
+True
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+from typing import List, Tuple
+
+#: ring salt: namespaces the key hash so a key's ring position is not the
+#: same value as any other sha256 use of the key elsewhere in the library.
+_RING_SALT = "repro.kvstore.ring"
+
+
+def _point(payload: str) -> int:
+    """A stable 64-bit ring coordinate for ``payload``."""
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_shard_seed(store_seed: int, shard_index: int) -> int:
+    """Deterministic per-shard simulation seed (PR 1's derivation recipe:
+    SHA-256 over a canonical JSON payload, first four bytes)."""
+    payload = json.dumps(["repro.kvstore.shard-seed", store_seed,
+                          shard_index])
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class HashRing:
+    """Consistent hashing of string keys onto ``shard_count`` shards."""
+
+    def __init__(self, shard_count: int, vnodes: int = 64):
+        if shard_count < 1:
+            raise ValueError("need at least one shard")
+        if vnodes < 1:
+            raise ValueError("need at least one virtual node per shard")
+        self.shard_count = shard_count
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard in range(shard_count):
+            for vnode in range(vnodes):
+                points.append((_point(f"{_RING_SALT}/{shard}/{vnode}"),
+                               shard))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._shards = [shard for _, shard in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key``: first ring point at or after its hash
+        (wrapping to the lowest point past the top of the ring)."""
+        where = bisect.bisect_left(self._points,
+                                   _point(f"{_RING_SALT}#{key}"))
+        if where == len(self._points):
+            where = 0
+        return self._shards[where]
+
+    def __len__(self) -> int:
+        return self.shard_count

@@ -7,14 +7,20 @@ holds the per-key automatons, so adding a key costs no new processes.
 Keys are created lazily on first use; creation is deterministic (driven by
 the first ``put``/``get`` naming the key), so runs stay reproducible.
 
+Clients are named ``c1..cm``:
+
 >>> cluster = Cluster(ClusterConfig(n=9, t=1, seed=3))
 >>> store = StabilizingKVStore(cluster, client_count=2)
->>> handle = store.put("alice", "cat", 1)
+>>> handle = store.put("c1", "cat", 1)
 >>> cluster.run_ops([handle])
->>> handle = store.get("bob", "cat")
+>>> handle = store.get("c2", "cat")
 >>> cluster.run_ops([handle])
 >>> handle.result
 1
+
+For the sharded, pipelined deployment shape see
+:class:`~repro.kvstore.sharded.ShardedKVStore` and
+:class:`~repro.kvstore.pipeline.Pipeline`.
 """
 
 from __future__ import annotations

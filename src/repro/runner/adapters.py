@@ -23,7 +23,8 @@ from typing import Any, Callable, Dict, Tuple
 
 from ..checkers.atomicity import check_linearizable, find_new_old_inversions
 from ..experiments.figure1 import run_figure1
-from ..workloads.scenarios import (INITIAL, run_mobile_byzantine_scenario,
+from ..workloads.scenarios import (INITIAL, run_kv_scenario,
+                                   run_mobile_byzantine_scenario,
                                    run_mwmr_scenario,
                                    run_partition_scenario,
                                    run_swsr_scenario)
@@ -133,11 +134,13 @@ def run_fuzz_cell(params: Dict[str, Any]) -> Sections:
     """
     # lazy import: repro.fuzz.campaign imports the runner engine, which
     # imports this module — binding at call time keeps the cycle open.
-    from ..fuzz.gen import FuzzProfile, generate_case
+    from ..fuzz.gen import FuzzProfile, generate_case, generate_kv_case
     from ..fuzz.harness import run_case
 
     profile = FuzzProfile.from_dict(params.get("profile"))
-    case = generate_case(int(params["seed"]), profile)
+    generate = (generate_kv_case if params.get("family") == "kv"
+                else generate_case)
+    case = generate(int(params["seed"]), profile)
     outcome = run_case(case, backend="null")
     verdicts = {
         "completed": outcome.completed,
@@ -146,6 +149,24 @@ def run_fuzz_cell(params: Dict[str, Any]) -> Sections:
     }
     return (verdicts, outcome.counters, outcome.timings,
             outcome.history_digest)
+
+
+def run_kv_cell(params: Dict[str, Any]) -> Sections:
+    """Sharded KV cell: ``ok`` = terminates + every key's post-τ history
+    linearizes (each key judged against its own shard's τ)."""
+    result = run_kv_scenario(**params)
+    summary = result.summarize()
+    linearizable = bool(summary.completed and result.linearizable)
+    verdicts = {
+        "completed": summary.completed,
+        "linearizable": linearizable,
+        "ok": summary.completed and linearizable,
+    }
+    counters = counters_from(summary)
+    counters["shards"] = result.store.shard_count
+    counters["keys"] = len(result.per_key_linearizable)
+    return (verdicts, counters, timings_from(summary),
+            summary.history_digest)
 
 
 def run_figure1_cell(params: Dict[str, Any]) -> Sections:
@@ -166,4 +187,5 @@ ADAPTERS: Dict[str, Callable[[Dict[str, Any]], Sections]] = {
     "partition": run_partition_cell,
     "mobile-byz": run_mobile_byz_cell,
     "fuzz": run_fuzz_cell,
+    "kv": run_kv_cell,
 }

@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 #: scenario families the engine knows how to run (see ``adapters.py``).
-SCENARIOS = ("swsr", "mwmr", "figure1", "partition", "mobile-byz", "fuzz")
+SCENARIOS = ("swsr", "mwmr", "figure1", "partition", "mobile-byz", "fuzz",
+             "kv")
 
 
 def derive_seed(name: str, scenario: str, params: Dict[str, Any],
@@ -67,6 +68,18 @@ class SweepSpec:
       replicate).  ``None`` disables derivation: cells run with whatever
       ``seed`` appears in ``base``/``grid`` (exact-reproduction mode, used
       by the benchmark harness to preserve historical seeds).
+
+    Expansion is a pure function of the spec — same cells, same derived
+    seeds, any process, any platform:
+
+    >>> spec = SweepSpec(name="doc", scenario="swsr",
+    ...                  base={"n": 9, "t": 1},
+    ...                  grid={"kind": ["regular", "atomic"]},
+    ...                  seeds=[0, 1])
+    >>> [cell.cell_id for cell in spec.cells()]
+    ['doc/swsr/0000', 'doc/swsr/0001', 'doc/swsr/0002', 'doc/swsr/0003']
+    >>> spec.cells()[0].seed == spec.cells()[0].seed   # derived, stable
+    True
     """
 
     name: str
@@ -162,14 +175,15 @@ def expand(specs: Union[SweepSpec, Iterable[SweepSpec]]) -> List[Cell]:
 
 
 def smoke_specs() -> List[SweepSpec]:
-    """The CI smoke sweep: 64 cells covering every scenario family.
+    """The CI smoke sweep: 88 cells covering every scenario family.
 
     Small enough to finish in seconds, broad enough to cross register
     kinds, Byzantine strategies, corruption schedules, both transports,
-    sync/async timing, MWMR concurrency, and the fault-timeline families
-    (partition-during-write, mobile Byzantine rotation).  Every cell is
-    expected to terminate and satisfy its consistency condition
-    (``--strict`` gates CI on that).
+    sync/async timing, MWMR concurrency, the fault-timeline families
+    (partition-during-write, mobile Byzantine rotation) and the sharded
+    KV service (1/2/4 shards, with and without bursts and a Byzantine
+    server per shard).  Every cell is expected to terminate and satisfy
+    its consistency condition (``--strict`` gates CI on that).
     """
     swsr = SweepSpec(
         name="smoke-swsr", scenario="swsr",
@@ -225,4 +239,18 @@ def smoke_specs() -> List[SweepSpec]:
         },
         seeds=[0, 1],
     )
-    return [swsr, sync, mwmr, figure1, partition, mobile]
+    # the kv burst fraction stays at the family default (0.2, servers
+    # only): heavier bursts can legitimately livelock the MWMR scan until
+    # the owner rewrites (see run_kv_scenario's liveness caveat).
+    kv = SweepSpec(
+        name="smoke-kv", scenario="kv",
+        base={"n": 9, "t": 1, "client_count": 2, "num_keys": 4,
+              "rounds": 2},
+        grid={
+            "shard_count": [1, 2, 4],
+            "corruption_times": [[], [2.0]],
+            "byzantine_count": [0, 1],
+        },
+        seeds=[0, 1],
+    )
+    return [swsr, sync, mwmr, figure1, partition, mobile, kv]

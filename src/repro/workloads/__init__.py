@@ -2,13 +2,15 @@
 
 from .generators import (ClientDriver, OpSpec, ValueStream,
                          alternating_schedule, burst_schedule)
-from .scenarios import (ScenarioResult, ScenarioSummary, history_digest,
+from .scenarios import (KVScenarioResult, ScenarioResult, ScenarioSummary,
+                        history_digest, run_kv_scenario,
                         run_mobile_byzantine_scenario, run_mwmr_scenario,
                         run_partition_scenario, run_swsr_scenario)
 
 __all__ = [
-    "ClientDriver", "OpSpec", "ScenarioResult", "ScenarioSummary",
-    "ValueStream", "alternating_schedule", "burst_schedule",
-    "history_digest", "run_mobile_byzantine_scenario", "run_mwmr_scenario",
+    "ClientDriver", "KVScenarioResult", "OpSpec", "ScenarioResult",
+    "ScenarioSummary", "ValueStream", "alternating_schedule",
+    "burst_schedule", "history_digest", "run_kv_scenario",
+    "run_mobile_byzantine_scenario", "run_mwmr_scenario",
     "run_partition_scenario", "run_swsr_scenario",
 ]

@@ -12,12 +12,15 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..checkers.history import History
+from ..checkers.atomicity import check_linearizable
+from ..checkers.history import History, Operation
 from ..checkers.regularity import NO_INITIAL
 from ..checkers.stabilization import StabilizationReport, stabilization_report
 from ..faults.byzantine import strategy_factory
 from ..faults.schedule import FaultTimeline
 from ..faults.transient import TransientFaultInjector
+from ..kvstore.pipeline import Pipeline
+from ..kvstore.sharded import ShardedKVStore
 from ..registers.bounded_seq import WsnConfig
 from ..registers.system import (Cluster, ClusterConfig, build_mwmr,
                                 build_swsr_atomic, build_swsr_regular)
@@ -295,6 +298,11 @@ def run_swsr_scenario(kind: str = "regular", n: int = 9, t: int = 1,
       (or its dict form) installed on top of the scalar fault knobs.
     * writes start after τ_no_tr (the paper's assumption (b)); reads are
       offset by ``reader_offset`` (default ``op_gap / 2``: no concurrency).
+
+    >>> result = run_swsr_scenario(kind="atomic", seed=1, num_writes=2,
+    ...                            num_reads=2, corruption_times=[2.0])
+    >>> result.completed, result.summarize().stable
+    (True, True)
     """
     cluster, writer, reader = _build_swsr_cluster(
         kind, n, t, seed, transport, enforce_resilience, record_trace,
@@ -353,6 +361,10 @@ def run_mwmr_scenario(m: int = 3, n: int = 9, t: int = 1, seed: int = 0,
     subtlety of the extended abstract is documented in EXPERIMENTS.md
     (T4 notes) and demonstrated by
     ``tests/test_registers_mwmr.py::TestLiveness``.
+
+    >>> result = run_mwmr_scenario(m=2, seed=4, ops_per_process=1)
+    >>> result.completed, len(result.history)
+    (True, 4)
     """
     config = ClusterConfig(n=n, t=t, seed=seed, transport=transport,
                            enforce_resilience=enforce_resilience,
@@ -466,6 +478,219 @@ def run_partition_scenario(kind: str = "regular", n: int = 9, t: int = 1,
     return _swsr_result(cluster, writer, reader, injector, history,
                         completed, kind, initial, tau_report,
                         timeline=timeline, partition_group=group)
+
+
+@dataclass
+class KVScenarioResult:
+    """Result of a sharded KV run: many clusters, one merged history.
+
+    The per-key verdict (``linearizable``) judges the *post-τ* suffix of
+    every key's register history — exactly the window in which the MWMR
+    construction owes atomicity (writes restart after the last transient
+    event; the paper's assumption (b) per shard).
+    """
+
+    store: ShardedKVStore
+    history: History
+    completed: bool
+    tau_no_tr: float = 0.0
+    #: per-shard last-transient instants (shards are independent
+    #: simulations, so each key is judged against its *own* shard's τ).
+    tau_by_shard: List[float] = field(default_factory=list)
+    per_key_linearizable: Dict[str, bool] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def linearizable(self) -> bool:
+        return all(self.per_key_linearizable.values())
+
+    @property
+    def messages_sent(self) -> int:
+        return self.store.messages_sent
+
+    def summarize(self) -> ScenarioSummary:
+        """Reduce to the shared picklable summary (``stable`` carries the
+        all-keys-linearizable verdict)."""
+        return ScenarioSummary(
+            completed=self.completed,
+            tau_no_tr=self.tau_no_tr,
+            ops=len(self.history),
+            writes=len(self.history.writes()),
+            reads=len(self.history.reads()),
+            messages_sent=self.store.messages_sent,
+            events_processed=self.store.events_processed,
+            sim_end=self.store.now,
+            corruptions=int(self.extra.get("corruptions", 0)),
+            history_digest=history_digest(self.history),
+            stable=self.completed and self.linearizable,
+        )
+
+
+def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
+                    seed: int = 0, client_count: int = 2,
+                    num_keys: int = 4, rounds: int = 2,
+                    pipelined: bool = True,
+                    byzantine_count: int = 0,
+                    byzantine_strategy: str = "random-garbage",
+                    corruption_times: Sequence[float] = (),
+                    corruption_fraction: Union[float, Sequence[float]] = 0.2,
+                    fault_timelines: Optional[Dict[Any, Any]] = None,
+                    trace_backend: Optional[str] = "null",
+                    enforce_resilience: bool = True,
+                    max_events: int = 6_000_000) -> KVScenarioResult:
+    """Drive a sharded KV workload end to end (the ``kv`` runner family).
+
+    Three phases, all deterministic:
+
+    1. **create** — every key (``k0..k{num_keys-1}``) receives an initial
+       ``put`` (round-robin across the logical clients), so each shard
+       materializes its registers before any fault fires;
+    2. **faults** — transient bursts at ``corruption_times`` (servers
+       only, fraction-sampled, on *every* shard, anchored to each shard's
+       local clock) plus optional per-shard ``fault_timelines``
+       (``{shard_index: FaultTimeline-or-dict}``, times relative to the
+       shard clock).  Static Byzantine servers (``byzantine_count`` per
+       shard, at most ``t``) are installed from the start;
+    3. **workload** — ``rounds`` rounds; each round re-``put``\\s every
+       key and then ``get``\\s it back, with a flush barrier between the
+       puts and the gets (writes-repair-then-read, the paper's
+       stabilization posture).  ``pipelined=True`` drains each batch
+       through the :class:`~repro.kvstore.pipeline.Pipeline` (operations
+       in flight on every shard and client simultaneously);
+       ``pipelined=False`` runs one operation at a time — the serial
+       baseline the KV bench compares against.
+
+    The verdict is per-key linearizability of the post-τ history (each
+    key judged against its own shard's τ) — see :class:`KVScenarioResult`.
+
+    Liveness caveat, inherited from the MWMR construction: a burst that
+    corrupts *every* server copy of some per-key register livelocks the
+    scan until the register's owner rewrites it (see the
+    :func:`run_mwmr_scenario` docstring and
+    ``tests/test_registers_mwmr.py::TestLiveness``) — keep
+    ``corruption_fraction`` partial, as the default does.
+
+    >>> result = run_kv_scenario(shard_count=2, num_keys=2, rounds=1,
+    ...                          seed=3)
+    >>> result.completed and result.linearizable
+    True
+    >>> len(result.history)           # 2 creates + 1 round of put+get
+    6
+    """
+    if rounds < 1:
+        raise ValueError("need at least one workload round")
+    store = ShardedKVStore(
+        shard_count=shard_count, n=n, t=t, seed=seed,
+        client_count=client_count, trace_backend=trace_backend,
+        enforce_resilience=enforce_resilience)
+    clients = store.client_pids
+    keys = [f"k{index}" for index in range(num_keys)]
+    for cluster in store.group:
+        _install_byzantine(cluster, None, byzantine_count,
+                           byzantine_strategy)
+
+    values = ValueStream()
+    handles: List[Any] = []
+    completed = True
+    pipe = Pipeline(store) if pipelined else None
+
+    def batch(ops: List[Tuple[str, str, str, Optional[Any]]]) -> bool:
+        """Run one batch of (kind, client, key[, value]) operations."""
+        try:
+            if pipe is not None:
+                staged = []
+                for kind, client, key, value in ops:
+                    staged.append(pipe.put(client, key, value)
+                                  if kind == "put" else pipe.get(client, key))
+                pipe.flush(max_events=max_events)
+                handles.extend(entry.handle for entry in staged)
+            else:
+                for kind, client, key, value in ops:
+                    handle = (store.put(client, key, value)
+                              if kind == "put" else store.get(client, key))
+                    handles.append(handle)
+                    store.run_ops([handle], max_events=max_events)
+        except SimulationLimitReached:
+            if pipe is not None:
+                handles.extend(entry.handle for entry in pipe.issued
+                               if entry.handle is not None)
+                pipe.issued.clear()
+            return False
+        return True
+
+    # -- phase 1: create every key ----------------------------------------
+    completed = batch([("put", clients[index % len(clients)], key,
+                        values.next())
+                       for index, key in enumerate(keys)])
+
+    # -- phase 2: faults, anchored per shard -------------------------------
+    tau_by_shard = [0.0] * shard_count
+    corruptions = 0
+    if completed and (corruption_times or fault_timelines):
+        fractions = _burst_fractions(corruption_times, corruption_fraction)
+        timelines = {int(shard): _as_timeline(timeline)
+                     for shard, timeline in (fault_timelines or {}).items()}
+        out_of_range = sorted(shard for shard in timelines
+                              if not 0 <= shard < shard_count)
+        if out_of_range:
+            raise ValueError(
+                f"fault_timelines reference shards {out_of_range} but the "
+                f"store has {shard_count} shard(s); a silently dropped "
+                "timeline would fake a fault-free verdict")
+        for shard, cluster in enumerate(store.group):
+            injector = store.injector_for(shard)
+            anchor = cluster.now
+            tau_local = anchor
+            for time, fraction in zip(corruption_times, fractions):
+                injector.at(anchor + time,
+                            lambda cluster=cluster, fraction=fraction,
+                            injector=injector: injector.corrupt_all(
+                                cluster.servers, fraction))
+                tau_local = max(tau_local, anchor + time)
+            timeline = timelines.get(shard)
+            if timeline is not None:
+                shifted = timeline.shifted(anchor)
+                store.install_timeline(shard, shifted)
+                tau_local = max(tau_local, anchor + timeline.tau_no_tr)
+            tau_by_shard[shard] = tau_local
+        for cluster, tau_local in zip(store.group, tau_by_shard):
+            cluster.run(until=tau_local + 1.0)
+        corruptions = sum(injector.corruptions
+                          for injector in store._injectors.values())
+    tau_no_tr = max(tau_by_shard)
+
+    # -- phase 3: workload rounds (put barrier, then get barrier) ----------
+    for round_index in range(rounds):
+        if not completed:
+            break
+        completed = batch([
+            ("put", clients[(round_index + index) % len(clients)], key,
+             values.next())
+            for index, key in enumerate(keys)])
+        if not completed:
+            break
+        completed = batch([
+            ("get", clients[(round_index + index + 1) % len(clients)], key,
+             None)
+            for index, key in enumerate(keys)])
+
+    history = History.from_handles(handles)
+    per_key = {}
+    for key in keys:
+        register = f"kv/{key}"
+        tau_local = tau_by_shard[store.shard_for(key)]
+        suffix = History(Operation(
+            op.kind, op.process, op.value, op.invoke, op.response,
+            register=op.register)
+            for op in history.ops
+            if op.register == register and op.invoke >= tau_local)
+        per_key[key] = bool(check_linearizable(suffix).ok)
+    return KVScenarioResult(
+        store=store, history=history, completed=completed,
+        tau_no_tr=tau_no_tr, tau_by_shard=tau_by_shard,
+        per_key_linearizable=per_key,
+        extra={"corruptions": corruptions, "pipeline": pipe,
+               "keys": keys})
 
 
 def run_mobile_byzantine_scenario(kind: str = "regular", n: int = 9,

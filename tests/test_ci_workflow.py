@@ -18,7 +18,7 @@ def workflow():
 
 def test_workflow_parses_and_has_jobs(workflow):
     assert set(workflow["jobs"]) == {"lint", "test", "perf-smoke",
-                                     "fuzz-smoke"}
+                                     "fuzz-smoke", "docs"}
     # "on" parses as YAML true; accept either spelling
     assert True in workflow or "on" in workflow
 
@@ -52,10 +52,12 @@ def test_perf_smoke_job_gates_and_uploads_simcore_bench(workflow):
     steps = workflow["jobs"]["perf-smoke"]["steps"]
     runs = " ".join(step.get("run", "") for step in steps)
     assert "benchmarks/test_bench_perf_scaling.py" in runs
+    assert "benchmarks/test_bench_kv.py" in runs
     uploads = [step for step in steps
                if "upload-artifact" in step.get("uses", "")]
     assert uploads, "BENCH_simcore.json upload step missing"
     assert "BENCH_simcore.json" in uploads[0]["with"]["path"]
+    assert "BENCH_kv.json" in uploads[0]["with"]["path"]
 
 
 def test_fuzz_smoke_job_gates_guards_and_uploads(workflow):
@@ -76,6 +78,21 @@ def test_fuzz_smoke_job_gates_guards_and_uploads(workflow):
     assert uploads[0]["if"] == "always()"
     assert "fuzz-artifacts/" in uploads[0]["with"]["path"]
     assert "fuzz-results.json" in uploads[0]["with"]["path"]
+
+
+def test_fuzz_smoke_job_covers_the_kv_family(workflow):
+    runs = " ".join(step.get("run", "")
+                    for step in workflow["jobs"]["fuzz-smoke"]["steps"])
+    assert "--family kv" in runs
+    assert "fuzz-kv-results.json" in runs
+
+
+def test_docs_job_runs_the_doctest_surface(workflow):
+    runs = " ".join(step.get("run", "")
+                    for step in workflow["jobs"]["docs"]["steps"])
+    assert "--doctest-modules" in runs
+    assert "src/repro/kvstore" in runs
+    assert "docs/ARCHITECTURE.md" in runs
 
 
 def test_lint_job_uses_ruff(workflow):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.faults.byzantine import strategy_factory
+from repro.faults.schedule import FaultTimeline
 from repro.faults.transient import TransientFaultInjector
 from repro.kvstore.store import StabilizingKVStore, build_kv_store
 from repro.registers.system import Cluster, ClusterConfig
@@ -85,3 +86,87 @@ def test_async_handles():
     get = store.get("c2", "k")
     store.cluster.run_ops([get])
     assert get.result == 1
+
+
+class TestLazyKeyCreationDeterminism:
+    """Keys materialize on first use; creation order must be a pure
+    function of the operation program, never of dict/set iteration."""
+
+    def test_same_program_same_execution(self):
+        def run():
+            store = build_kv_store(seed=20)
+            for index in range(6):
+                store.put_sync(f"c{index % 2 + 1}", f"k{index}", index)
+            reads = [store.get_sync("c1", f"k{index}")
+                     for index in range(6)]
+            return (store.keys, reads, store.cluster.now,
+                    store.cluster.network.messages_sent)
+
+        assert run() == run()
+
+    def test_creation_order_does_not_leak_into_other_keys(self):
+        """Touching keys in different orders still yields the same
+        per-key results (registers are independent automatons)."""
+        forward = build_kv_store(seed=21)
+        for index in range(4):
+            forward.put_sync("c1", f"k{index}", index)
+        backward = build_kv_store(seed=21)
+        for index in reversed(range(4)):
+            backward.put_sync("c1", f"k{index}", index)
+        assert forward.keys == backward.keys
+        for index in range(4):
+            assert forward.get_sync("c2", f"k{index}") == \
+                backward.get_sync("c2", f"k{index}") == index
+
+    def test_get_creates_the_register_too(self):
+        store = build_kv_store(seed=22)
+        assert store.get_sync("c1", "never-written") is None
+        assert store.keys == ["never-written"]
+
+
+class TestMultiClientBurstInterleavings:
+    """Multi-client put/get interleavings while a declarative burst
+    timeline corrupts server state mid-run."""
+
+    def test_interleaved_clients_survive_burst_timeline(self):
+        store = build_kv_store(seed=23, client_count=3)
+        cluster = store.cluster
+        for index in range(3):
+            store.put_sync(f"c{index + 1}", f"k{index}", f"v{index}")
+        injector = TransientFaultInjector.for_cluster(cluster)
+        timeline = (FaultTimeline()
+                    .burst(cluster.now + 1.0, fraction=0.2,
+                           targets="servers")
+                    .burst(cluster.now + 2.0, fraction=0.2,
+                           targets="servers"))
+        timeline.install(cluster, injector)
+        cluster.run(until=cluster.now + 3.0)
+        assert injector.corruptions > 0
+        # concurrent post-burst repair writes by all three clients
+        handles = [store.put(f"c{index + 1}", f"k{index}",
+                             f"repaired{index}")
+                   for index in range(3)]
+        cluster.run_ops(handles)
+        # cross-client reads see the repaired values
+        for index in range(3):
+            reader = f"c{(index + 1) % 3 + 1}"
+            assert store.get_sync(reader, f"k{index}") == \
+                f"repaired{index}"
+
+    def test_concurrent_same_key_writes_linearize(self):
+        from repro.checkers.atomicity import check_linearizable
+        from repro.checkers.history import History
+
+        store = build_kv_store(seed=24, client_count=2)
+        cluster = store.cluster
+        store.put_sync("c1", "k", "w0")
+        injector = TransientFaultInjector.for_cluster(cluster)
+        injector.corrupt_all(cluster.servers, fraction=0.2)
+        writes = [store.put("c1", "k", "w1"), store.put("c2", "k", "w2")]
+        cluster.run_ops(writes)
+        reads = [store.get("c1", "k"), store.get("c2", "k")]
+        cluster.run_ops(reads)
+        history = History.from_handles(writes + reads)
+        assert check_linearizable(history, initial="w0").ok
+        assert reads[0].result in ("w1", "w2")
+        assert reads[0].result == reads[1].result

@@ -1,0 +1,202 @@
+"""Tests of the sharded KV service layer: ring, shards, pipeline."""
+
+import pytest
+
+from repro.faults.schedule import FaultTimeline
+from repro.kvstore import (HashRing, Pipeline, build_kv_store,
+                           build_sharded_kv_store, derive_shard_seed)
+from repro.registers.system import ClusterConfig, ClusterGroup
+from repro.sim.errors import OperationError
+
+
+class TestHashRing:
+    def test_placement_is_deterministic(self):
+        first, second = HashRing(4), HashRing(4)
+        for index in range(100):
+            key = f"key{index}"
+            assert first.shard_for(key) == second.shard_for(key)
+
+    def test_every_shard_owns_keys(self):
+        ring = HashRing(4)
+        owners = {ring.shard_for(f"key{index}") for index in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_consistent_hashing_moves_few_keys_on_reshard(self):
+        """Growing S -> S+1 must move roughly 1/(S+1) of the keys, not
+        reshuffle everything (the property naive modulo hashing lacks)."""
+        small, grown = HashRing(4), HashRing(5)
+        keys = [f"key{index}" for index in range(600)]
+        moved = sum(1 for key in keys
+                    if small.shard_for(key) != grown.shard_for(key))
+        assert moved < len(keys) * 0.4      # ~1/5 expected, far below 40%
+
+    def test_rejects_degenerate_configs(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)
+
+
+class TestShardSeeds:
+    def test_derived_seeds_are_stable_and_distinct(self):
+        seeds = [derive_shard_seed(0, shard) for shard in range(8)]
+        assert seeds == [derive_shard_seed(0, shard) for shard in range(8)]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_store_uses_derived_seeds(self):
+        store = build_sharded_kv_store(shard_count=3, seed=5)
+        assert [cluster.config.seed for cluster in store.group] == \
+            [derive_shard_seed(5, shard) for shard in range(3)]
+
+
+class TestClusterGroup:
+    def test_members_are_independent(self):
+        group = ClusterGroup([ClusterConfig(n=9, t=1, seed=s)
+                              for s in (1, 2)])
+        assert group[0].scheduler is not group[1].scheduler
+        assert group[0].network is not group[1].network
+
+    def test_aggregates_sum_members(self):
+        group = ClusterGroup([ClusterConfig(n=9, t=1, seed=s)
+                              for s in (1, 2)])
+        assert group.messages_sent == 0
+        assert group.events_processed == 0
+        assert len(group) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ClusterGroup([])
+
+
+class TestShardedKVStore:
+    def test_put_get_roundtrip_across_shards(self):
+        store = build_sharded_kv_store(shard_count=4, seed=1)
+        for index in range(8):
+            store.put_sync("c1", f"k{index}", index)
+        for index in range(8):
+            assert store.get_sync("c2", f"k{index}") == index
+        assert store.keys == sorted(f"k{index}" for index in range(8))
+
+    def test_key_lives_on_exactly_one_shard(self):
+        store = build_sharded_kv_store(shard_count=4, seed=2)
+        store.put_sync("c1", "solo", "value")
+        hosting = [index for index, shard_store in enumerate(store.stores)
+                   if "solo" in shard_store.keys]
+        assert hosting == [store.shard_for("solo")]
+
+    def test_handles_tag_their_shard(self):
+        store = build_sharded_kv_store(shard_count=4, seed=3)
+        handle = store.put("c1", "k", 1)
+        assert handle.meta["shard"] == store.shard_for("k")
+        store.run_ops([handle])
+        assert handle.done
+
+    def test_shard_fault_isolation(self):
+        """A burst + Byzantine server on one shard must leave every other
+        shard's clusters untouched."""
+        store = build_sharded_kv_store(shard_count=3, seed=4)
+        for index in range(6):
+            store.put_sync("c1", f"k{index}", index)
+        victim = 1
+        anchor = store.group[victim].now
+        timeline = (FaultTimeline()
+                    .burst(anchor + 1.0, fraction=0.2, targets="servers")
+                    .byzantine(anchor + 2.0,
+                               [store.group[victim].server_ids[0]]))
+        store.install_timeline(victim, timeline)
+        store.group[victim].run(until=anchor + 3.0)
+        assert store.group[victim].byzantine_ids
+        for shard, cluster in enumerate(store.group):
+            if shard != victim:
+                assert cluster.byzantine_ids == []
+        # the store still serves every key, including the victim's
+        for index in range(6):
+            store.put_sync("c2", f"k{index}", index + 100)
+            assert store.get_sync("c1", f"k{index}") == index + 100
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            build_sharded_kv_store(shard_count=0)
+
+
+class TestPipeline:
+    def test_pipelined_results_match_serial(self):
+        serial = build_sharded_kv_store(shard_count=2, seed=6)
+        for index in range(6):
+            serial.put_sync("c1", f"k{index}", index)
+
+        pipelined = build_sharded_kv_store(shard_count=2, seed=6)
+        pipe = Pipeline(pipelined)
+        for index in range(6):
+            pipe.put("c1", f"k{index}", index)
+        pipe.flush()
+        for index in range(6):
+            assert pipelined.get_sync("c2", f"k{index}") == \
+                serial.get_sync("c2", f"k{index}") == index
+
+    def test_lane_preserves_per_client_program_order(self):
+        """Two puts by one client to the same key are sequential (the
+        paper's processes are sequential), so the later one wins."""
+        store = build_sharded_kv_store(shard_count=2, seed=7)
+        pipe = Pipeline(store)
+        pipe.put("c1", "k", "first")
+        pipe.put("c1", "k", "second")
+        pipe.flush()
+        assert store.get_sync("c2", "k") == "second"
+
+    def test_many_in_flight_per_client(self):
+        """One logical client keeps one operation in flight per shard —
+        the pipelined makespan beats draining lanes one at a time."""
+        store = build_sharded_kv_store(shard_count=4, seed=8,
+                                      client_count=1)
+        pipe = Pipeline(store)
+        keys = [f"k{index}" for index in range(8)]
+        shards = {store.shard_for(key) for key in keys}
+        assert len(shards) > 1
+        for index, key in enumerate(keys):
+            pipe.put("c1", key, index)
+        assert pipe.pending == 8
+        pipe.flush()
+        assert pipe.pending == 0
+        makespan = max(cluster.now for cluster in store.group)
+        total = sum(cluster.now for cluster in store.group)
+        assert makespan < total  # shards progressed concurrently
+
+    def test_flush_returns_completed_handles_in_enqueue_order(self):
+        store = build_sharded_kv_store(shard_count=2, seed=9)
+        pipe = Pipeline(store)
+        first = pipe.put("c1", "a", 1)
+        second = pipe.get("c2", "a")
+        drained = pipe.flush()
+        assert drained == [first, second]
+        assert all(entry.done for entry in drained)
+
+    def test_result_before_flush_raises(self):
+        store = build_sharded_kv_store(shard_count=2, seed=10)
+        pipe = Pipeline(store)
+        # a second op on the same lane is queued, not yet issued
+        pipe.put("c1", "k", 1)
+        later = pipe.put("c1", "k", 2)
+        with pytest.raises(OperationError):
+            _ = later.result
+
+    def test_works_on_single_pool_store(self):
+        store = build_kv_store(seed=11)
+        pipe = Pipeline(store)
+        pipe.put("c1", "k", 42)
+        pipe.flush()
+        reads = [pipe.get("c2", "k")]
+        pipe.flush()
+        assert reads[0].result == 42
+
+    def test_deterministic_across_runs(self):
+        def run():
+            store = build_sharded_kv_store(shard_count=3, seed=12)
+            pipe = Pipeline(store)
+            for index in range(9):
+                pipe.put(f"c{index % 2 + 1}", f"k{index}", index)
+            pipe.flush()
+            return ([cluster.now for cluster in store.group],
+                    store.messages_sent)
+
+        assert run() == run()
