@@ -38,6 +38,27 @@ class Operation:
                 f"[{self.invoke:.3f}, {self.response:.3f}]")
 
 
+def operation_from_handle(handle) -> Optional[Operation]:
+    """The :class:`Operation` a completed handle describes, or ``None``.
+
+    Unfinished handles and handles whose ``meta`` carries no register
+    operation kind (helper operations) produce ``None`` — one source of
+    truth shared by :meth:`History.add_handle` and the streaming
+    observation pipeline (:mod:`repro.checkers.stream`).
+    """
+    if not handle.done:
+        return None
+    meta = handle.meta
+    kind = meta.get("kind")
+    if kind not in ("write", "read"):
+        return None
+    value = meta.get("value") if kind == "write" else handle.result
+    return Operation(
+        kind=kind, process=handle.process_id, value=value,
+        invoke=handle.invoke_time, response=handle.response_time,
+        register=meta.get("register", "reg"))
+
+
 class History:
     """An append-only collection of completed operations."""
 
@@ -60,17 +81,10 @@ class History:
 
     def add_handle(self, handle) -> Optional[Operation]:
         """Record a completed operation handle (skips unfinished ones)."""
-        if not handle.done:
+        op = operation_from_handle(handle)
+        if op is None:
             return None
-        meta = handle.meta
-        kind = meta.get("kind")
-        if kind not in ("write", "read"):
-            return None
-        value = meta.get("value") if kind == "write" else handle.result
-        return self.append(Operation(
-            kind=kind, process=handle.process_id, value=value,
-            invoke=handle.invoke_time, response=handle.response_time,
-            register=meta.get("register", "reg")))
+        return self.append(op)
 
     @classmethod
     def from_handles(cls, handles: Iterable) -> "History":

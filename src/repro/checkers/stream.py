@@ -1,0 +1,143 @@
+"""The observation stream: completed operations as they happen.
+
+An :class:`ObservationStream` is the funnel between the execution layer
+(drivers finishing :class:`~repro.sim.process.OperationHandle` objects)
+and everything that judges or summarizes a run.  It replaces the
+materialize-then-scan pattern (`History.from_handles` + batch checker
+passes) with a single pass over completion events:
+
+* **counters** — operations / writes / reads maintained incrementally, so
+  ``summarize()`` never re-walks a history;
+* **digest** — an incremental, order-independent fingerprint of the
+  operation multiset (see :func:`history_digest`), identical whether it
+  is folded op-by-op as the run streams or over a finished history;
+* **checker fan-out** — every observed operation is forwarded, in
+  completion order, to the attached
+  :class:`~repro.checkers.online.OnlineChecker` objects;
+* **optional retention** — ``keep_history=True`` also appends every
+  operation to a :class:`~repro.checkers.history.History` (the default
+  for ordinary scenarios, where replay/confirmation paths still want the
+  full history); soak runs switch it off and keep peak memory bounded by
+  the checkers' windows instead of the run length.
+
+Operations arrive in **completion order** (response time, ties broken by
+the scheduler's deterministic event order) — exactly what the online
+checkers require, and guaranteed by feeding the stream from
+``OperationHandle.on_done`` callbacks of a deterministic simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional
+
+from .history import History, Operation, operation_from_handle
+from .online import OnlineChecker
+
+_DIGEST_MOD = 1 << 128
+
+
+def operation_fingerprint(op: Operation) -> int:
+    """A 128-bit fingerprint of one operation's observable content.
+
+    ``op_id`` is deliberately excluded: the fingerprint describes *what
+    happened*, not the order observations were appended in.
+    """
+    payload = (f"{op.kind}|{op.process}|{op.register}|{op.value!r}"
+               f"|{op.invoke!r}|{op.response!r}")
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:16], "big")
+
+
+def _render_digest(accumulator: int, count: int) -> str:
+    payload = f"{count}:{accumulator:032x}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def history_digest(history: Iterable[Operation]) -> str:
+    """A short, stable fingerprint of an operation history.
+
+    Computed as an order-independent fold (sum modulo 2**128) of per-
+    operation SHA-256 fingerprints: the digest of a finished
+    :class:`~repro.checkers.history.History` equals the digest an
+    :class:`ObservationStream` accumulated while the same operations
+    streamed by — regardless of append order.  Same-seed executions have
+    identical digests; any divergence in an operation's kind, process,
+    value, register or timing changes it.
+    """
+    accumulator = 0
+    count = 0
+    for op in history:
+        accumulator = (accumulator + operation_fingerprint(op)) % _DIGEST_MOD
+        count += 1
+    return _render_digest(accumulator, count)
+
+
+class ObservationStream:
+    """Single-pass observation pipeline for completed operations.
+
+    >>> from repro.checkers.history import Operation
+    >>> stream = ObservationStream(keep_history=True)
+    >>> _ = stream.observe(Operation("write", "w", "w0", 1.0, 2.0))
+    >>> _ = stream.observe(Operation("read", "r", "w0", 3.0, 4.0))
+    >>> stream.close()
+    >>> (stream.ops, stream.writes, stream.reads)
+    (2, 1, 1)
+    >>> stream.digest() == history_digest(stream.history)
+    True
+    """
+
+    def __init__(self, checkers: Iterable[OnlineChecker] = (),
+                 keep_history: bool = False):
+        self.checkers: List[OnlineChecker] = list(checkers)
+        self.history: Optional[History] = History() if keep_history else None
+        self.ops = 0
+        self.writes = 0
+        self.reads = 0
+        self._digest_acc = 0
+        self._closed = False
+
+    # -- ingestion ---------------------------------------------------------
+    def observe(self, op: Operation) -> Operation:
+        """Record one completed operation (completion order)."""
+        if self._closed:
+            raise ValueError("observation stream is closed")
+        if self.history is not None:
+            self.history.append(op)         # assigns op_id
+        else:
+            op.op_id = self.ops
+        self.ops += 1
+        if op.kind == "write":
+            self.writes += 1
+        elif op.kind == "read":
+            self.reads += 1
+        self._digest_acc = (self._digest_acc
+                            + operation_fingerprint(op)) % _DIGEST_MOD
+        for checker in self.checkers:
+            checker.observe(op)
+        return op
+
+    def observe_handle(self, handle) -> Optional[Operation]:
+        """Record a completed operation handle (ignores non-op handles)."""
+        op = operation_from_handle(handle)
+        if op is not None:
+            return self.observe(op)
+        return None
+
+    def attach(self, checker: OnlineChecker) -> OnlineChecker:
+        """Add a checker mid-stream (it sees only later operations)."""
+        self.checkers.append(checker)
+        return checker
+
+    def close(self) -> None:
+        """End of stream: flush every checker's pending judgements."""
+        if self._closed:
+            return
+        self._closed = True
+        for checker in self.checkers:
+            checker.finish()
+
+    # -- results -----------------------------------------------------------
+    def digest(self) -> str:
+        """The incremental history fingerprint (see :func:`history_digest`)."""
+        return _render_digest(self._digest_acc, self.ops)

@@ -2,11 +2,13 @@
 
 The campaign runs every case on the NullTrace fast path (PR 2: constant-
 cost ``tick``, nothing retained) and computes only the cheap verdict:
-*completed and eventually consistent*.  Suspicious cases are re-run under
+*completed and eventually consistent* — read straight off the scenario's
+observation stream (the online τ-tracker answers the harness's adversary
+cut-off without any history rescan).  Suspicious cases are re-run under
 ``FullTrace`` — executions are byte-identical across backends, which the
-re-run asserts via the history digest — and their histories are fed
-through the regularity/atomicity/stabilization checkers to extract the
-concrete violating reads for the replay artifact.
+re-run asserts via the history digest — and only then are the retained
+histories fed through the offline regularity/atomicity checkers to
+extract the concrete violating reads for the replay artifact.
 
 Test-only violation injection
 -----------------------------
@@ -29,8 +31,7 @@ from ..checkers.atomicity import find_new_old_inversions
 from ..checkers.regularity import check_regularity
 from ..checkers.stabilization import stabilization_report
 from ..runner.adapters import counters_from
-from ..workloads.scenarios import (history_digest, run_kv_scenario,
-                                   run_swsr_scenario)
+from ..workloads.scenarios import run_kv_scenario, run_swsr_scenario
 from .gen import INITIAL, FuzzCase, KVFuzzCase
 
 #: environment variable enabling the test-only injection hook.
@@ -154,7 +155,7 @@ def _run_kv_case(case: KVFuzzCase, backend: str = "null",
         case=case, backend=backend, completed=result.completed,
         stable=summary.stable, ok=not violations, violations=violations,
         counters=counters, timings=timings,
-        history_digest=history_digest(result.history))
+        history_digest=summary.history_digest)
 
 
 def run_case(case, backend: str = "null",
@@ -187,12 +188,14 @@ def run_case(case, backend: str = "null",
     mode = "atomic" if case.kind == "atomic" else "regular"
     report = None
     if result.completed and result.history.reads():
-        # the scenario already computed this report when its tau (which
-        # excludes rotations) is the harness tau — don't pay the suffix
-        # search twice.
+        # the scenario's online tracker answers any cut-off without a
+        # rescan; the offline pass survives only as a fallback for
+        # stream-less results.
         if result.report is not None and tau == result.tau_no_tr:
             report = result.report
         else:
+            report = result.stream_report(tau)
+        if report is None:
             report = stabilization_report(result.history, mode=mode,
                                           initial=INITIAL, tau_no_tr=tau)
     stable = report.stable if report else None
@@ -227,7 +230,7 @@ def run_case(case, backend: str = "null",
         case=case, backend=backend, completed=result.completed,
         stable=stable, ok=not violations, violations=violations,
         counters=counters, timings=timings,
-        history_digest=history_digest(result.history))
+        history_digest=summary.history_digest)
 
 
 def confirm_case(case,

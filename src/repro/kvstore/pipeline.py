@@ -93,8 +93,14 @@ class Pipeline:
     paper's one-operation-per-process rule and raises ``OperationError``.
     """
 
-    def __init__(self, store):
+    def __init__(self, store,
+                 on_complete: Optional[Callable[[OperationHandle],
+                                                None]] = None):
         self.store = store
+        #: observer invoked with each underlying operation handle the
+        #: moment it completes (shard-local completion order) — how the
+        #: streaming observation pipeline taps pipelined KV runs.
+        self.on_complete = on_complete
         group = getattr(store, "group", None)
         self._clusters = list(group) if group is not None else [store.cluster]
         self._shard_for = (store.shard_for if group is not None
@@ -139,13 +145,17 @@ class Pipeline:
         self._in_flight[lane_key] = True
         handle = issue()
         pending.handle = handle
-        handle.on_done(lambda _handle: self._completed(lane_key,
-                                                       pending.shard))
+        handle.on_done(lambda done: self._completed(lane_key,
+                                                    pending.shard, done))
 
-    def _completed(self, lane_key: Tuple[int, str], shard: int) -> None:
-        # chain the lane's next operation *before* decrementing, so the
+    def _completed(self, lane_key: Tuple[int, str], shard: int,
+                   handle: OperationHandle) -> None:
+        # observe first, then chain the lane's next operation *before*
+        # decrementing, so the stream sees completions in order and the
         # shard's outstanding count never transiently reads drained while
         # work remains queued.
+        if self.on_complete is not None:
+            self.on_complete(handle)
         self._issue_next(lane_key)
         self._outstanding[shard] -= 1
 

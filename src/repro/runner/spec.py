@@ -30,8 +30,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 #: scenario families the engine knows how to run (see ``adapters.py``).
-SCENARIOS = ("swsr", "mwmr", "figure1", "partition", "mobile-byz", "fuzz",
-             "kv")
+SCENARIOS = ("swsr", "mwmr", "figure1", "partition", "mobile-byz", "soak",
+             "fuzz", "kv")
 
 
 def derive_seed(name: str, scenario: str, params: Dict[str, Any],
@@ -175,15 +175,16 @@ def expand(specs: Union[SweepSpec, Iterable[SweepSpec]]) -> List[Cell]:
 
 
 def smoke_specs() -> List[SweepSpec]:
-    """The CI smoke sweep: 88 cells covering every scenario family.
+    """The CI smoke sweep: 92 cells covering every scenario family.
 
     Small enough to finish in seconds, broad enough to cross register
     kinds, Byzantine strategies, corruption schedules, both transports,
     sync/async timing, MWMR concurrency, the fault-timeline families
-    (partition-during-write, mobile Byzantine rotation) and the sharded
+    (partition-during-write, mobile Byzantine rotation), the sharded
     KV service (1/2/4 shards, with and without bursts and a Byzantine
-    server per shard).  Every cell is expected to terminate and satisfy
-    its consistency condition (``--strict`` gates CI on that).
+    server per shard) and the streaming ``soak`` family (history-free,
+    bounded-window checking).  Every cell is expected to terminate and
+    satisfy its consistency condition (``--strict`` gates CI on that).
     """
     swsr = SweepSpec(
         name="smoke-swsr", scenario="swsr",
@@ -253,4 +254,16 @@ def smoke_specs() -> List[SweepSpec]:
         },
         seeds=[0, 1],
     )
-    return [swsr, sync, mwmr, figure1, partition, mobile, kv]
+    # the soak cells are deliberately longer than every other family's
+    # workload (160 ops vs ≤ 20) yet retain no history: they smoke-test
+    # the streaming pipeline end to end, including the worker-count
+    # determinism of the stream digest.
+    soak = SweepSpec(
+        name="smoke-soak", scenario="soak",
+        base={"n": 9, "t": 1, "num_writes": 80, "num_reads": 80,
+              "op_gap": 4.0, "fault_bursts": 2, "fault_period": 3.0,
+              "chunk_ops": 32, "write_window": 16, "read_window": 16},
+        grid={"kind": ["regular", "atomic"]},
+        seeds=[0, 1],
+    )
+    return [swsr, sync, mwmr, figure1, partition, mobile, soak, kv]

@@ -1,16 +1,19 @@
 """Workload generation and canned end-to-end scenarios."""
 
+from .engine import ScenarioEngine
 from .generators import (ClientDriver, OpSpec, ValueStream,
                          alternating_schedule, burst_schedule)
 from .scenarios import (KVScenarioResult, ScenarioResult, ScenarioSummary,
                         history_digest, run_kv_scenario,
                         run_mobile_byzantine_scenario, run_mwmr_scenario,
-                        run_partition_scenario, run_swsr_scenario)
+                        run_partition_scenario, run_soak_scenario,
+                        run_swsr_scenario)
 
 __all__ = [
-    "ClientDriver", "KVScenarioResult", "OpSpec", "ScenarioResult",
-    "ScenarioSummary", "ValueStream", "alternating_schedule",
-    "burst_schedule", "history_digest", "run_kv_scenario",
-    "run_mobile_byzantine_scenario", "run_mwmr_scenario",
-    "run_partition_scenario", "run_swsr_scenario",
+    "ClientDriver", "KVScenarioResult", "OpSpec", "ScenarioEngine",
+    "ScenarioResult", "ScenarioSummary", "ValueStream",
+    "alternating_schedule", "burst_schedule", "history_digest",
+    "run_kv_scenario", "run_mobile_byzantine_scenario",
+    "run_mwmr_scenario", "run_partition_scenario", "run_soak_scenario",
+    "run_swsr_scenario",
 ]

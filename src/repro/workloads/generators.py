@@ -44,11 +44,19 @@ class ClientDriver:
     or as soon after as the client is free.
     """
 
-    def __init__(self, scheduler: Scheduler, process: Process):
+    def __init__(self, scheduler: Scheduler, process: Process,
+                 observer: Optional[Callable[[OperationHandle], None]] = None,
+                 retain_handles: bool = True):
         self.scheduler = scheduler
         self.process = process
+        self.observer = observer
+        #: ``False`` frees each handle once observed (streaming consumers
+        #: need no batch ``History.from_handles`` pass) — what keeps a
+        #: long-horizon soak run's memory independent of its op count.
+        self.retain_handles = retain_handles
         self.handles: List[OperationHandle] = []
         self.scheduled = 0
+        self.finished = 0
         self._pending: Deque[Callable[[], OperationHandle]] = deque()
 
     def at(self, time: float, factory: Callable[[], OperationHandle]) -> None:
@@ -65,14 +73,21 @@ class ClientDriver:
             return
         factory = self._pending.popleft()
         handle = factory()
-        self.handles.append(handle)
-        handle.on_done(lambda _handle: self._pump())
+        if self.retain_handles:
+            self.handles.append(handle)
+        handle.on_done(self._completed)
+
+    def _completed(self, handle: OperationHandle) -> None:
+        # observe first: the stream must see this operation before the
+        # chained next operation can be invoked at the same instant.
+        self.finished += 1
+        if self.observer is not None:
+            self.observer(handle)
+        self._pump()
 
     @property
     def all_done(self) -> bool:
-        return (len(self.handles) == self.scheduled
-                and not self._pending
-                and all(h.done for h in self.handles))
+        return self.finished == self.scheduled and not self._pending
 
 
 @dataclass

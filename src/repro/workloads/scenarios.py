@@ -4,18 +4,28 @@ These are the workhorses behind the integration tests, the benchmark
 harness and the examples.  A scenario stands up a cluster, installs faults
 (transient bursts before τ_no_tr, Byzantine strategies throughout), drives
 a read/write workload, and returns the history plus stabilization report.
+
+Since the streaming refactor every family runs on the shared
+:class:`~repro.workloads.engine.ScenarioEngine`: completed operations are
+fed into an :class:`~repro.checkers.stream.ObservationStream` as drivers
+finish them, so counters, the history digest and (for SWSR-shaped runs)
+the stabilization report are online by-products of the run rather than
+terminal passes over a materialized history.  Ordinary scenarios still
+retain the full :class:`~repro.checkers.history.History` for replay and
+confirmation paths; the long-horizon :func:`run_soak_scenario` family
+switches retention off and runs arbitrarily long workloads under a
+bounded peak-memory envelope.
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..checkers.atomicity import check_linearizable
-from ..checkers.history import History, Operation
-from ..checkers.regularity import NO_INITIAL
-from ..checkers.stabilization import StabilizationReport, stabilization_report
+from ..checkers.history import History
+from ..checkers.online import StreamingLinearizer
+from ..checkers.stabilization import StabilizationReport
+from ..checkers.stream import ObservationStream, history_digest
 from ..faults.byzantine import strategy_factory
 from ..faults.schedule import FaultTimeline
 from ..faults.transient import TransientFaultInjector
@@ -25,7 +35,15 @@ from ..registers.bounded_seq import WsnConfig
 from ..registers.system import (Cluster, ClusterConfig, build_mwmr,
                                 build_swsr_atomic, build_swsr_regular)
 from ..sim.errors import SimulationLimitReached
-from .generators import ClientDriver, ValueStream, alternating_schedule
+from .engine import ScenarioEngine
+from .generators import ValueStream, alternating_schedule
+
+__all__ = [
+    "INITIAL", "KVScenarioResult", "ScenarioResult", "ScenarioSummary",
+    "history_digest", "run_kv_scenario", "run_mobile_byzantine_scenario",
+    "run_mwmr_scenario", "run_partition_scenario", "run_soak_scenario",
+    "run_swsr_scenario",
+]
 
 #: default register initial value, shared by every scenario family (the
 #: checkers treat it as virtual write #-1 — keep one source of truth).
@@ -47,7 +65,9 @@ class ScenarioSummary:
     deterministic — derived from the simulated execution only, never from
     wall-clock time, object identities or iteration order of unordered
     containers.  ``history_digest`` fingerprints the full operation history
-    so determinism can be asserted without shipping the history itself.
+    so determinism can be asserted without shipping the history itself;
+    counters and digest are read straight off the run's observation
+    stream (single pass, no history re-render).
     """
 
     completed: bool
@@ -89,42 +109,67 @@ class ScenarioSummary:
         }
 
 
-def history_digest(history: History) -> str:
-    """A short, stable fingerprint of an operation history."""
-    rendering = history.format().encode("utf-8")
-    return hashlib.sha256(rendering).hexdigest()[:16]
-
-
 @dataclass
 class ScenarioResult:
-    """Everything an experiment needs to report."""
+    """Everything an experiment needs to report.
+
+    ``stream`` is the run's observation pipeline; ``history`` is the
+    materialized operation history when the scenario retained one
+    (``None`` for memory-bounded soak runs).  ``extra["tracker"]`` holds
+    the online τ-tracker of SWSR-shaped runs, so consumers (runner
+    adapters, the fuzz harness) read verdicts off the stream instead of
+    re-scanning the history.
+    """
 
     cluster: Cluster
-    history: History
+    history: Optional[History]
     completed: bool                      # all operations terminated
     report: Optional[StabilizationReport] = None
     tau_no_tr: float = 0.0
+    stream: Optional[ObservationStream] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def messages_sent(self) -> int:
         return self.cluster.network.messages_sent
 
+    def inversions_after(self, after: float) -> Optional[int]:
+        """New/old-inversion pairs (both reads invoked at/after ``after``)
+        counted by the run's online detector; ``None`` without one."""
+        tracker = self.extra.get("tracker")
+        if tracker is None:
+            return None
+        return tracker.inversions.pairs_after(after)
+
+    def stream_report(self, tau_no_tr: float) -> Optional[StabilizationReport]:
+        """Re-derive the stabilization report for a different τ_no_tr.
+
+        The online tracker keeps enough state to answer any cut-off, so
+        consumers that judge from a later instant (e.g. the fuzz harness
+        covering mobile rotations) no longer rescan the history.
+        """
+        tracker = self.extra.get("tracker")
+        if tracker is None:
+            return None
+        return tracker.report(tau_no_tr)
+
     def summarize(self) -> ScenarioSummary:
         """Reduce to the compact, picklable record sweep workers return."""
         injector = self.extra.get("injector")
         report = self.report
+        ops, writes, reads, digest = _stream_counters(self.stream,
+                                                      self.history)
         return ScenarioSummary(
             completed=self.completed,
             tau_no_tr=self.tau_no_tr,
-            ops=len(self.history),
-            writes=len(self.history.writes()),
-            reads=len(self.history.reads()),
+            ops=ops,
+            writes=writes,
+            reads=reads,
             messages_sent=self.messages_sent,
             events_processed=self.cluster.scheduler.events_processed,
             sim_end=self.cluster.scheduler.now,
             corruptions=injector.corruptions if injector else 0,
-            history_digest=history_digest(self.history),
+            history_digest=digest,
             stable=report.stable if report else None,
             tau_1w=report.tau_1w if report else None,
             tau_stab=report.tau_stab if report else None,
@@ -133,6 +178,17 @@ class ScenarioResult:
             dirty_reads=report.dirty_reads if report else None,
             total_reads=report.total_reads if report else None,
         )
+
+
+def _stream_counters(stream: Optional[ObservationStream],
+                     history: Optional[History]
+                     ) -> Tuple[int, int, int, str]:
+    """(ops, writes, reads, digest) off the stream — single pass — with a
+    history-walking fallback for hand-built results (tests)."""
+    if stream is not None:
+        return stream.ops, stream.writes, stream.reads, stream.digest()
+    return (len(history), len(history.writes()), len(history.reads()),
+            history_digest(history))
 
 
 def _burst_fractions(corruption_times: Sequence[float],
@@ -159,34 +215,35 @@ def _as_timeline(timeline: Union[dict, FaultTimeline]) -> FaultTimeline:
     return FaultTimeline.from_dict(timeline)
 
 
-def _drive_swsr_workload(cluster: Cluster, writer, reader, start: float,
-                         num_writes: int, num_reads: int, op_gap: float,
-                         reader_offset: Optional[float],
-                         max_events: int) -> Tuple[History, bool]:
-    """Schedule the alternating write/read workload and run it out.
-
-    Shared by every SWSR-shaped scenario family; returns the operation
-    history and whether all operations terminated within the budget.
-    """
+def _schedule_swsr_ops(engine: ScenarioEngine, writer, reader, start: float,
+                       num_writes: int, num_reads: int, op_gap: float,
+                       reader_offset: Optional[float], values: ValueStream
+                       ) -> Tuple[Any, Any]:
+    """Queue the alternating write/read workload on fresh engine drivers."""
     write_times, read_times = alternating_schedule(
         start, max(num_writes, num_reads), op_gap, reader_offset)
-    values = ValueStream()
-    writer_driver = ClientDriver(cluster.scheduler, writer)
-    reader_driver = ClientDriver(cluster.scheduler, reader)
+    writer_driver = engine.driver(writer)
+    reader_driver = engine.driver(reader)
     for time in write_times[:num_writes]:
         writer_driver.at(time, lambda w=writer: w.write(values.next()))
     for time in read_times[:num_reads]:
         reader_driver.at(time, lambda r=reader: r.read())
-    completed = True
-    try:
-        cluster.scheduler.run_until(
-            lambda: (writer_driver.all_done and reader_driver.all_done),
-            max_events=max_events)
-    except SimulationLimitReached:
-        completed = False
-    history = History.from_handles(writer_driver.handles
-                                   + reader_driver.handles)
-    return history, completed
+    return writer_driver, reader_driver
+
+
+def _drive_swsr_workload(engine: ScenarioEngine, writer, reader,
+                         start: float, num_writes: int, num_reads: int,
+                         op_gap: float, reader_offset: Optional[float],
+                         max_events: int) -> bool:
+    """Schedule the alternating write/read workload and run it out.
+
+    Shared by every SWSR-shaped scenario family; completed operations
+    stream into ``engine.stream`` as they finish.  Returns whether all
+    operations terminated within the budget.
+    """
+    _schedule_swsr_ops(engine, writer, reader, start, num_writes,
+                       num_reads, op_gap, reader_offset, ValueStream())
+    return engine.run(max_events)
 
 
 def _install_byzantine(cluster: Cluster, byzantine: Optional[Dict[str, str]],
@@ -248,21 +305,28 @@ def _schedule_bursts(injector: TransientFaultInjector, targets,
     return max(corruption_times) if corruption_times else 0.0
 
 
-def _swsr_result(cluster: Cluster, writer, reader,
-                 injector: TransientFaultInjector, history: History,
-                 completed: bool, kind: str, initial: Any, tau: float,
-                 **extra: Any) -> ScenarioResult:
-    """Report + result assembly shared by the SWSR-shaped families."""
-    mode = "atomic" if kind == "atomic" else "regular"
-    report = None
-    if completed and history.reads():
-        report = stabilization_report(history, mode=mode, initial=initial,
-                                      tau_no_tr=tau)
-    return ScenarioResult(cluster=cluster, history=history,
+def _swsr_result(engine: ScenarioEngine, writer, reader,
+                 injector: TransientFaultInjector, completed: bool,
+                 tau: float, **extra: Any) -> ScenarioResult:
+    """Result assembly shared by the SWSR-shaped families.
+
+    The stabilization report is read off the engine's online tracker —
+    no post-run checker pass over the history.
+    """
+    report = engine.report(tau, completed)
+    return ScenarioResult(cluster=engine.cluster, history=engine.history,
                           completed=completed, report=report,
-                          tau_no_tr=tau,
+                          tau_no_tr=tau, stream=engine.stream,
                           extra={"writer": writer, "reader": reader,
-                                 "injector": injector, **extra})
+                                 "injector": injector,
+                                 "tracker": engine.tracker, **extra})
+
+
+def _swsr_engine(cluster: Cluster, kind: str, initial: Any,
+                 **engine_kwargs: Any) -> ScenarioEngine:
+    mode = "atomic" if kind == "atomic" else "regular"
+    return ScenarioEngine(cluster, mode=mode, initial=initial,
+                          **engine_kwargs)
 
 
 def run_swsr_scenario(kind: str = "regular", n: int = 9, t: int = 1,
@@ -326,11 +390,12 @@ def run_swsr_scenario(kind: str = "regular", n: int = 9, t: int = 1,
         tau_no_tr = max(tau_no_tr, timeline.tau_no_tr)
 
     start = tau_no_tr + 1.0
-    history, completed = _drive_swsr_workload(
-        cluster, writer, reader, start, num_writes, num_reads, op_gap,
+    engine = _swsr_engine(cluster, kind, initial)
+    completed = _drive_swsr_workload(
+        engine, writer, reader, start, num_writes, num_reads, op_gap,
         reader_offset, max_events)
-    return _swsr_result(cluster, writer, reader, injector, history,
-                        completed, kind, initial, tau_no_tr)
+    return _swsr_result(engine, writer, reader, injector, completed,
+                        tau_no_tr)
 
 
 def run_mwmr_scenario(m: int = 3, n: int = 9, t: int = 1, seed: int = 0,
@@ -384,28 +449,21 @@ def run_mwmr_scenario(m: int = 3, n: int = 9, t: int = 1, seed: int = 0,
 
     start = tau_no_tr + 1.0
     values = ValueStream()
-    drivers = []
+    # writes are not totally ordered by real time here: counters + digest
+    # stream, but no SWSR tau tracker (mode=None).
+    engine = ScenarioEngine(cluster)
     for index, process in enumerate(register.processes):
-        driver = ClientDriver(cluster.scheduler, process)
-        drivers.append(driver)
+        driver = engine.driver(process)
         offset = 0.0 if concurrent else index * stagger
         for round_index in range(ops_per_process):
             base = start + offset + round_index * op_gap
             driver.at(base, lambda p=process: p.mwmr_write(values.next()))
             driver.at(base + op_gap / 2, lambda p=process: p.mwmr_read())
 
-    completed = True
-    try:
-        cluster.scheduler.run_until(
-            lambda: all(driver.all_done for driver in drivers),
-            max_events=max_events)
-    except SimulationLimitReached:
-        completed = False
-
-    handles = [handle for driver in drivers for handle in driver.handles]
-    history = History.from_handles(handles)
-    return ScenarioResult(cluster=cluster, history=history,
+    completed = engine.run(max_events)
+    return ScenarioResult(cluster=cluster, history=engine.history,
                           completed=completed, tau_no_tr=tau_no_tr,
+                          stream=engine.stream,
                           extra={"register": register,
                                  "injector": injector})
 
@@ -472,12 +530,13 @@ def run_partition_scenario(kind: str = "regular", n: int = 9, t: int = 1,
     timeline.install(cluster, injector)
     tau_report = max(tau_bursts, timeline.tau_no_tr)
 
-    history, completed = _drive_swsr_workload(
-        cluster, writer, reader, start, num_writes, num_reads, op_gap,
+    engine = _swsr_engine(cluster, kind, initial)
+    completed = _drive_swsr_workload(
+        engine, writer, reader, start, num_writes, num_reads, op_gap,
         reader_offset, max_events)
-    return _swsr_result(cluster, writer, reader, injector, history,
-                        completed, kind, initial, tau_report,
-                        timeline=timeline, partition_group=group)
+    return _swsr_result(engine, writer, reader, injector, completed,
+                        tau_report, timeline=timeline,
+                        partition_group=group)
 
 
 @dataclass
@@ -487,17 +546,20 @@ class KVScenarioResult:
     The per-key verdict (``linearizable``) judges the *post-τ* suffix of
     every key's register history — exactly the window in which the MWMR
     construction owes atomicity (writes restart after the last transient
-    event; the paper's assumption (b) per shard).
+    event; the paper's assumption (b) per shard).  Verdicts come from the
+    run's :class:`~repro.checkers.online.StreamingLinearizer`, which
+    consumed each shard's completions as they happened.
     """
 
     store: ShardedKVStore
-    history: History
+    history: Optional[History]
     completed: bool
     tau_no_tr: float = 0.0
     #: per-shard last-transient instants (shards are independent
     #: simulations, so each key is judged against its *own* shard's τ).
     tau_by_shard: List[float] = field(default_factory=list)
     per_key_linearizable: Dict[str, bool] = field(default_factory=dict)
+    stream: Optional[ObservationStream] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -511,17 +573,19 @@ class KVScenarioResult:
     def summarize(self) -> ScenarioSummary:
         """Reduce to the shared picklable summary (``stable`` carries the
         all-keys-linearizable verdict)."""
+        ops, writes, reads, digest = _stream_counters(self.stream,
+                                                      self.history)
         return ScenarioSummary(
             completed=self.completed,
             tau_no_tr=self.tau_no_tr,
-            ops=len(self.history),
-            writes=len(self.history.writes()),
-            reads=len(self.history.reads()),
+            ops=ops,
+            writes=writes,
+            reads=reads,
             messages_sent=self.store.messages_sent,
             events_processed=self.store.events_processed,
             sim_end=self.store.now,
             corruptions=int(self.extra.get("corruptions", 0)),
-            history_digest=history_digest(self.history),
+            history_digest=digest,
             stable=self.completed and self.linearizable,
         )
 
@@ -560,8 +624,12 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
        ``pipelined=False`` runs one operation at a time — the serial
        baseline the KV bench compares against.
 
-    The verdict is per-key linearizability of the post-τ history (each
-    key judged against its own shard's τ) — see :class:`KVScenarioResult`.
+    Completed operations stream into a per-run
+    :class:`~repro.checkers.stream.ObservationStream`; the per-key
+    post-τ linearizability verdict is maintained online by a
+    :class:`~repro.checkers.online.StreamingLinearizer` (each key sealed
+    at its own shard's τ, segments collapsed at the batch barriers) — see
+    :class:`KVScenarioResult`.
 
     Liveness caveat, inherited from the MWMR construction: a burst that
     corrupts *every* server copy of some per-key register livelocks the
@@ -590,32 +658,35 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
                            byzantine_strategy)
 
     values = ValueStream()
-    handles: List[Any] = []
     completed = True
-    pipe = Pipeline(store) if pipelined else None
+    linearizer = StreamingLinearizer()
+    stream = ObservationStream(checkers=[linearizer], keep_history=True)
+    pipe = (Pipeline(store, on_complete=stream.observe_handle)
+            if pipelined else None)
 
     def batch(ops: List[Tuple[str, str, str, Optional[Any]]]) -> bool:
         """Run one batch of (kind, client, key[, value]) operations."""
         try:
             if pipe is not None:
-                staged = []
                 for kind, client, key, value in ops:
-                    staged.append(pipe.put(client, key, value)
-                                  if kind == "put" else pipe.get(client, key))
+                    if kind == "put":
+                        pipe.put(client, key, value)
+                    else:
+                        pipe.get(client, key)
                 pipe.flush(max_events=max_events)
-                handles.extend(entry.handle for entry in staged)
             else:
                 for kind, client, key, value in ops:
                     handle = (store.put(client, key, value)
                               if kind == "put" else store.get(client, key))
-                    handles.append(handle)
+                    handle.on_done(stream.observe_handle)
                     store.run_ops([handle], max_events=max_events)
         except SimulationLimitReached:
             if pipe is not None:
-                handles.extend(entry.handle for entry in pipe.issued
-                               if entry.handle is not None)
                 pipe.issued.clear()
             return False
+        # a drained batch is a quiesce point: nothing is in flight, so
+        # the linearizer can collapse settled segments (bounded memory).
+        linearizer.settle()
         return True
 
     # -- phase 1: create every key ----------------------------------------
@@ -659,6 +730,11 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
                           for injector in store._injectors.values())
     tau_no_tr = max(tau_by_shard)
 
+    # each key is judged against its own shard's τ: sealing fixes the
+    # post-τ cutoff and replays the (tiny) pre-fault buffer through it.
+    for key in keys:
+        linearizer.seal(f"kv/{key}", tau_by_shard[store.shard_for(key)])
+
     # -- phase 3: workload rounds (put barrier, then get barrier) ----------
     for round_index in range(rounds):
         if not completed:
@@ -674,23 +750,14 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
              None)
             for index, key in enumerate(keys)])
 
-    history = History.from_handles(handles)
-    per_key = {}
-    for key in keys:
-        register = f"kv/{key}"
-        tau_local = tau_by_shard[store.shard_for(key)]
-        suffix = History(Operation(
-            op.kind, op.process, op.value, op.invoke, op.response,
-            register=op.register)
-            for op in history.ops
-            if op.register == register and op.invoke >= tau_local)
-        per_key[key] = bool(check_linearizable(suffix).ok)
+    stream.close()
+    per_key = {key: bool(linearizer.ok(f"kv/{key}")) for key in keys}
     return KVScenarioResult(
-        store=store, history=history, completed=completed,
+        store=store, history=stream.history, completed=completed,
         tau_no_tr=tau_no_tr, tau_by_shard=tau_by_shard,
-        per_key_linearizable=per_key,
+        per_key_linearizable=per_key, stream=stream,
         extra={"corruptions": corruptions, "pipeline": pipe,
-               "keys": keys})
+               "keys": keys, "linearizer": linearizer})
 
 
 def run_mobile_byzantine_scenario(kind: str = "regular", n: int = 9,
@@ -757,9 +824,128 @@ def run_mobile_byzantine_scenario(kind: str = "regular", n: int = 9,
     timeline.install(cluster, injector)
     tau_report = max(tau_bursts, last_rotation)
 
-    history, completed = _drive_swsr_workload(
-        cluster, writer, reader, start, num_writes, num_reads, op_gap,
+    engine = _swsr_engine(cluster, kind, initial)
+    completed = _drive_swsr_workload(
+        engine, writer, reader, start, num_writes, num_reads, op_gap,
         reader_offset, max_events)
-    return _swsr_result(cluster, writer, reader, injector, history,
-                        completed, kind, initial, tau_report,
-                        timeline=timeline)
+    return _swsr_result(engine, writer, reader, injector, completed,
+                        tau_report, timeline=timeline)
+
+
+def run_soak_scenario(kind: str = "regular", n: int = 9, t: int = 1,
+                      seed: int = 0, transport: str = "direct",
+                      num_writes: int = 500, num_reads: int = 500,
+                      op_gap: float = 4.0,
+                      reader_offset: Optional[float] = None,
+                      fault_bursts: int = 3, fault_period: float = 5.0,
+                      corruption_fraction: Union[float,
+                                                 Sequence[float]] = 0.3,
+                      rotations: int = 0,
+                      rotation_gap: Optional[float] = None,
+                      rotation_size: Optional[int] = None,
+                      rotation_strategy: str = "random-garbage",
+                      byzantine_count: int = 0,
+                      byzantine_strategy: str = "random-garbage",
+                      initial: Any = INITIAL,
+                      enforce_resilience: bool = True,
+                      max_events: int = 100_000_000,
+                      trace_backend: str = "null",
+                      keep_history: bool = False,
+                      write_window: int = 64, read_window: int = 64,
+                      max_records: int = 64, candidate_cap: int = 4096,
+                      chunk_ops: int = 256) -> ScenarioResult:
+    """Long-horizon SWSR soak: N× longer workloads at bounded peak memory.
+
+    The memory-bounded member of the SWSR-shaped family: a periodic
+    transient-burst prelude (``fault_bursts`` bursts, ``fault_period``
+    apart, servers only — the atomic-safe envelope), optional mobile
+    Byzantine rotations straddling the workload, then ``num_writes`` +
+    ``num_reads`` alternating operations.  Three things bound memory by
+    the *configuration*, not the run length:
+
+    * the engine retains no history (``keep_history=False``) — counters,
+      digest and the stabilization verdict stream off the observation
+      pipeline;
+    * the online checkers run windowed (``write_window`` /
+      ``read_window`` / ``max_records`` / ``candidate_cap``) —
+      sound verdicts, with :attr:`~repro.checkers.online
+      .OnlineTauTracker.exact` flagging any window overrun;
+    * operations are scheduled in ``chunk_ops``-sized slices, so the
+      event heap holds one chunk, not the whole workload.
+
+    ``benchmarks/test_bench_checkers.py`` gates the payoff: a soak run
+    ≥ 10× the biggest smoke-workload op count completing under a hard
+    peak-memory budget (``BENCH_checkers.json``).
+
+    >>> result = run_soak_scenario(seed=1, num_writes=8, num_reads=8,
+    ...                            fault_bursts=1)
+    >>> result.completed, result.summarize().stable, result.history is None
+    (True, True, True)
+    """
+    cluster, writer, reader = _build_swsr_cluster(
+        kind, n, t, seed, transport, enforce_resilience,
+        record_trace=False, trace_backend=trace_backend, initial=initial)
+    _install_byzantine(cluster, None, byzantine_count, byzantine_strategy)
+
+    injector = TransientFaultInjector.for_cluster(cluster)
+    burst_times = [fault_period * (index + 1)
+                   for index in range(fault_bursts)]
+    tau_no_tr = _schedule_bursts(injector, list(cluster.servers),
+                                 burst_times, corruption_fraction)
+
+    start = tau_no_tr + 1.0
+    tau_report = tau_no_tr
+    timeline = None
+    if rotations > 0:
+        size = t if rotation_size is None else rotation_size
+        gap = 2.0 * op_gap if rotation_gap is None else rotation_gap
+        timeline = FaultTimeline()
+        server_ids = cluster.server_ids
+        for index in range(rotations):
+            members = [server_ids[(index * size + offset) % n]
+                       for offset in range(size)]
+            time = start + index * gap
+            timeline.byzantine(time, members, rotation_strategy)
+            tau_report = max(tau_report, time)
+        timeline.install(cluster, injector)
+
+    engine = _swsr_engine(cluster, kind, initial,
+                          keep_history=keep_history,
+                          write_window=write_window,
+                          read_window=read_window,
+                          max_records=max_records,
+                          candidate_cap=candidate_cap,
+                          tau_hint=tau_report,
+                          retain_handles=keep_history)
+    writer_driver = engine.driver(writer)
+    reader_driver = engine.driver(reader)
+    values = ValueStream()
+    offset = op_gap / 2 if reader_offset is None else reader_offset
+    count = max(num_writes, num_reads)
+    completed = True
+    scheduled = 0
+    start_events = cluster.scheduler.events_processed
+    while completed and scheduled < count:
+        upper = min(count, scheduled + max(1, chunk_ops))
+        # slow operations can outrun the nominal schedule across chunks;
+        # clamp to the clock — the sequential drivers queue either way.
+        now = cluster.scheduler.now
+        for index in range(scheduled, upper):
+            base = start + index * op_gap
+            if index < num_writes:
+                writer_driver.at(max(base, now),
+                                 lambda w=writer: w.write(values.next()))
+            if index < num_reads:
+                reader_driver.at(max(base + offset, now),
+                                 lambda r=reader: r.read())
+        scheduled = upper
+        spent = cluster.scheduler.events_processed - start_events
+        completed = engine.step(max_events - spent)
+    engine.stream.close()
+    return _swsr_result(engine, writer, reader, injector, completed,
+                        tau_report, timeline=timeline,
+                        soak={"num_writes": num_writes,
+                              "num_reads": num_reads,
+                              "chunk_ops": chunk_ops,
+                              "write_window": write_window,
+                              "read_window": read_window})

@@ -60,6 +60,15 @@ def test_perf_smoke_job_gates_and_uploads_simcore_bench(workflow):
     assert "BENCH_kv.json" in uploads[0]["with"]["path"]
 
 
+def test_perf_smoke_job_gates_streaming_checkers(workflow):
+    steps = workflow["jobs"]["perf-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert "benchmarks/test_bench_checkers.py" in runs
+    uploads = [step for step in steps
+               if "upload-artifact" in step.get("uses", "")]
+    assert "BENCH_checkers.json" in uploads[0]["with"]["path"]
+
+
 def test_fuzz_smoke_job_gates_guards_and_uploads(workflow):
     steps = workflow["jobs"]["fuzz-smoke"]["steps"]
     runs = " ".join(step.get("run", "") for step in steps)
