@@ -1,0 +1,104 @@
+"""Experiment SERVICE — loopback load through the asyncio service layer.
+
+The service layer (``repro.service``) puts the sharded KV simulation
+behind a framed client/server protocol.  This bench drives the standard
+lane-partitioned load workload (8 lanes x 4 rounds x 4 keys, put-then-get
+batches) through N concurrent loopback connections and reports
+requests/sec, p50/p99 request latency and both digests.
+
+Two properties are gated unconditionally because they are deterministic:
+
+* **replay** — same seed, same connection count => identical
+  ``history_digest`` (the store-level fingerprint, simulated timings
+  included);
+* **concurrency independence** — 1 connection vs 8 connections =>
+  identical ``response_digest`` (the content-only fold): the connection
+  fan-in must not change what any client observes.
+
+The throughput floor only applies under ``REPRO_PERF_GATE`` (CI's
+``service-smoke`` job sets it; local runs just record).  Results land in
+``BENCH_service.json`` and ``benchmarks/results.txt``.
+"""
+
+import json
+import os
+
+from repro.analysis.tables import Table
+from repro.service import run_loopback_load
+
+ARTIFACT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                             "BENCH_service.json")
+
+PERF_GATE = bool(os.environ.get("REPRO_PERF_GATE"))
+
+#: the standard load shape: 32 requests, 256 ops, disjoint lane keyspaces.
+WORKLOAD = dict(lanes=8, rounds=4, keys_per_lane=4, shards=4, n=9, t=1,
+                seed=20260808, store_clients=2)
+
+#: wall-clock floor under REPRO_PERF_GATE.  The dev container does ~900
+#: ops/s at 8 connections; 120 leaves ~7x headroom for slow CI runners.
+MIN_OPS_PER_SEC = 120.0
+
+
+def test_service_loopback_load(report):
+    """Throughput/latency at 1 vs 8 connections + both digest gates."""
+    single = run_loopback_load(clients=1, **WORKLOAD)
+    fanned = run_loopback_load(clients=8, **WORKLOAD)
+    replay = run_loopback_load(clients=1, **WORKLOAD)
+
+    table = Table(
+        f"SERVICE  loopback load ({WORKLOAD['lanes']} lanes x "
+        f"{WORKLOAD['rounds']} rounds x {WORKLOAD['keys_per_lane']} keys, "
+        f"{single.ops} ops)",
+        ["connections", "req/s", "ops/s", "p50 ms", "p99 ms",
+         "response_digest"])
+    for load in (single, fanned):
+        table.row(load.clients, f"{load.requests_per_sec:.1f}",
+                  f"{load.ops_per_sec:.1f}", f"{load.p50_ms:.2f}",
+                  f"{load.p99_ms:.2f}", load.response_digest)
+    report(table.render())
+
+    document = {
+        "bench": "test_service_loopback_load",
+        "workload": dict(WORKLOAD),
+        "requests": single.requests,
+        "ops": single.ops,
+        "single_connection": single.to_dict(),
+        "eight_connections": fanned.to_dict(),
+        "history_digest": single.history_digest,
+        "response_digest": single.response_digest,
+        "perf_gate": PERF_GATE,
+        "min_ops_per_sec": MIN_OPS_PER_SEC,
+    }
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # every batch must return exactly the values its lane wrote
+    assert single.mismatches == 0
+    assert fanned.mismatches == 0
+
+    # replay determinism: same seed + same fan-in => same store history
+    assert single.history_digest == replay.history_digest
+    assert single.response_digest == replay.response_digest
+
+    # concurrency independence: fan-in must not change response content
+    assert single.response_digest == fanned.response_digest, (
+        "1-connection and 8-connection runs observed different response "
+        "multisets — the lane partitioning or pipeline lanes regressed")
+
+    if PERF_GATE:
+        assert fanned.ops_per_sec >= MIN_OPS_PER_SEC, (
+            f"service loopback throughput {fanned.ops_per_sec:.1f} ops/s "
+            f"fell below the {MIN_OPS_PER_SEC} ops/s floor")
+
+
+def test_service_load_scales_down_cleanly():
+    """A minimal load shape still satisfies both digest contracts."""
+    small = dict(lanes=2, rounds=1, keys_per_lane=2, shards=2, n=9, t=1,
+                 seed=7, store_clients=2)
+    one = run_loopback_load(clients=1, **small)
+    two = run_loopback_load(clients=2, **small)
+    assert one.mismatches == two.mismatches == 0
+    assert one.response_digest == two.response_digest
+    assert one.requests == 2 and one.ops == 8

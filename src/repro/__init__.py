@@ -4,12 +4,15 @@ A complete reproduction of *"Stabilizing Server-Based Storage in Byzantine
 Asynchronous Message-Passing Systems"* (Bonomi, Dolev, Potop-Butucaru,
 Raynal): the four register constructions of the paper, the ss-broadcast /
 data-link substrate they rely on, a deterministic simulator implementing
-the paper's system model, transient + Byzantine fault injection, and
-consistency checkers that *measure* stabilization.
+the paper's system model, transient + Byzantine fault injection,
+consistency checkers that *measure* stabilization, and an asyncio service
+layer that puts the sharded KV store behind a framed client/server
+protocol.
 
-Quickstart::
+The public surface is defined by :mod:`repro.api` and re-exported here;
+import from either spelling::
 
-    from repro import Cluster, ClusterConfig, build_swsr_atomic
+    from repro.api import Cluster, ClusterConfig, build_swsr_atomic
 
     cluster = Cluster(ClusterConfig(n=9, t=1, seed=1))
     writer, reader = build_swsr_atomic(cluster)
@@ -23,39 +26,9 @@ See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
-from .checkers import (History, Operation, check_atomic_swsr,
-                       check_linearizable, check_regularity,
-                       find_new_old_inversions, find_tau_stab, is_atomic_swsr,
-                       is_regular, stabilization_report)
-from .registers import (BOT, Cluster, ClusterConfig, Epoch, EpochLabeling,
-                        MWMRRegister, QuorumParams, SWMRRegister, WsnConfig,
-                        build_mwmr, build_swmr, build_swsr_atomic,
-                        build_swsr_regular)
-from .faults import FaultTimeline
-from .kvstore import (Pipeline, ShardedKVStore, StabilizingKVStore,
-                      build_kv_store, build_sharded_kv_store)
-from .runner import (CellResult, SweepResult, SweepSpec, run_sweep,
-                     smoke_specs)
-from .workloads import (KVScenarioResult, ScenarioResult, ScenarioSummary,
-                        run_kv_scenario, run_mobile_byzantine_scenario,
-                        run_mwmr_scenario, run_partition_scenario,
-                        run_swsr_scenario)
+from .api import *          # noqa: F401,F403 - the blessed surface
+from .api import __all__ as _api_all
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = [
-    "BOT", "CellResult", "Cluster", "ClusterConfig", "Epoch", "EpochLabeling",
-    "FaultTimeline",
-    "History", "KVScenarioResult", "MWMRRegister", "Operation", "Pipeline",
-    "QuorumParams", "SWMRRegister",
-    "ScenarioResult", "ScenarioSummary", "ShardedKVStore",
-    "StabilizingKVStore", "SweepResult", "SweepSpec",
-    "WsnConfig", "__version__", "build_kv_store", "build_mwmr",
-    "build_sharded_kv_store", "build_swmr",
-    "build_swsr_atomic", "build_swsr_regular", "check_atomic_swsr",
-    "check_linearizable", "check_regularity", "find_new_old_inversions",
-    "find_tau_stab", "is_atomic_swsr", "is_regular",
-    "run_kv_scenario", "run_mobile_byzantine_scenario", "run_mwmr_scenario",
-    "run_partition_scenario",
-    "run_swsr_scenario", "run_sweep", "smoke_specs", "stabilization_report",
-]
+__all__ = list(_api_all) + ["__version__"]

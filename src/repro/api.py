@@ -1,0 +1,79 @@
+"""The blessed public surface of ``repro`` in one flat namespace.
+
+Everything documented in README.md and docs/ imports from here::
+
+    from repro.api import ScenarioSpec, run_scenario, build_sharded_kv_store
+
+``repro.api`` (re-exported as ``repro`` itself) is the compatibility
+contract: names listed in ``__all__`` below are stable across PRs, while
+submodule layouts underneath may shift.  The surface groups into:
+
+* **registers** — the four constructions (+ the cluster simulator they
+  run on): :class:`Cluster`, :func:`build_swsr_regular` /
+  :func:`build_swsr_atomic` / :func:`build_swmr` / :func:`build_mwmr`;
+* **checkers** — offline (:func:`check_linearizable`, ...) and streaming
+  (:class:`ObservationStream`, :func:`history_digest`) consistency
+  verdicts;
+* **faults** — the declarative :class:`FaultTimeline`;
+* **kvstore** — :class:`StabilizingKVStore`, :class:`ShardedKVStore`
+  and the request :class:`Pipeline`;
+* **scenarios** — :class:`ScenarioSpec` / :func:`run_scenario` (the
+  unified entry point) plus the historical per-family functions (now
+  deprecation shims);
+* **runner** — parameter sweeps (:func:`run_sweep`);
+* **service** — the asyncio KV service layer (:class:`KVService`,
+  :class:`KVClient`, :func:`run_loopback_load`).
+"""
+
+from .checkers import (History, ObservationStream, Operation,
+                       check_atomic_swsr, check_linearizable,
+                       check_regularity, find_new_old_inversions,
+                       find_tau_stab, history_digest, is_atomic_swsr,
+                       is_regular, stabilization_report)
+from .faults import FaultTimeline
+from .kvstore import (Pipeline, ShardedKVStore, StabilizingKVStore,
+                      build_kv_store, build_sharded_kv_store)
+from .registers import (BOT, Cluster, ClusterConfig, Epoch, EpochLabeling,
+                        MWMRRegister, QuorumParams, SWMRRegister, WsnConfig,
+                        build_mwmr, build_swmr, build_swsr_atomic,
+                        build_swsr_regular)
+from .runner import (CellResult, SweepResult, SweepSpec, run_sweep,
+                     smoke_specs)
+from .service import (KVClient, KVService, LoadReport, ServiceError,
+                      ServiceServer, SyncKVClient, run_loopback_load,
+                      serve_tcp)
+from .workloads import (KVScenarioResult, ScenarioEngine, ScenarioResult,
+                        ScenarioSpec, ScenarioSummary, run_kv_scenario,
+                        run_mobile_byzantine_scenario, run_mwmr_scenario,
+                        run_partition_scenario, run_scenario,
+                        run_soak_scenario, run_swsr_scenario,
+                        scenario_families)
+from .workloads.scenarios import INITIAL
+
+__all__ = [
+    # registers + simulator
+    "BOT", "Cluster", "ClusterConfig", "Epoch", "EpochLabeling",
+    "MWMRRegister", "QuorumParams", "SWMRRegister", "WsnConfig",
+    "build_mwmr", "build_swmr", "build_swsr_atomic", "build_swsr_regular",
+    # checkers
+    "History", "ObservationStream", "Operation", "check_atomic_swsr",
+    "check_linearizable", "check_regularity", "find_new_old_inversions",
+    "find_tau_stab", "history_digest", "is_atomic_swsr", "is_regular",
+    "stabilization_report",
+    # faults
+    "FaultTimeline",
+    # kv store
+    "Pipeline", "ShardedKVStore", "StabilizingKVStore", "build_kv_store",
+    "build_sharded_kv_store",
+    # scenarios
+    "INITIAL", "KVScenarioResult", "ScenarioEngine", "ScenarioResult",
+    "ScenarioSpec", "ScenarioSummary", "run_kv_scenario",
+    "run_mobile_byzantine_scenario", "run_mwmr_scenario",
+    "run_partition_scenario", "run_scenario", "run_soak_scenario",
+    "run_swsr_scenario", "scenario_families",
+    # runner
+    "CellResult", "SweepResult", "SweepSpec", "run_sweep", "smoke_specs",
+    # service layer
+    "KVClient", "KVService", "LoadReport", "ServiceError", "ServiceServer",
+    "SyncKVClient", "run_loopback_load", "serve_tcp",
+]

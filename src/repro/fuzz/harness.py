@@ -31,7 +31,7 @@ from ..checkers.atomicity import find_new_old_inversions
 from ..checkers.regularity import check_regularity
 from ..checkers.stabilization import stabilization_report
 from ..runner.adapters import counters_from
-from ..workloads.scenarios import run_kv_scenario, run_swsr_scenario
+from ..workloads.spec import run_scenario
 from .gen import INITIAL, FuzzCase, KVFuzzCase
 
 #: environment variable enabling the test-only injection hook.
@@ -115,8 +115,8 @@ def _run_kv_case(case: KVFuzzCase, backend: str = "null",
     are as triagable as SWSR ones.
     """
     try:
-        result = run_kv_scenario(trace_backend=backend,
-                                 **case.scenario_kwargs())
+        result = run_scenario("kv", trace_backend=backend,
+                              **case.scenario_kwargs())
     except Exception as exc:  # noqa: BLE001 - cases must not kill campaigns
         return CaseOutcome(
             case=case, backend=backend, completed=False, stable=None,
@@ -172,8 +172,8 @@ def run_case(case, backend: str = "null",
     if isinstance(case, KVFuzzCase):
         return _run_kv_case(case, backend, detail=detail)
     try:
-        result = run_swsr_scenario(trace_backend=backend,
-                                   **case.scenario_kwargs())
+        result = run_scenario("swsr", trace_backend=backend,
+                              **case.scenario_kwargs())
     except Exception as exc:  # noqa: BLE001 - cases must not kill campaigns
         return CaseOutcome(
             case=case, backend=backend, completed=False, stable=None,

@@ -150,14 +150,36 @@ class ShardedKVStore:
         return injector
 
     def install_timeline(self, shard: int,
-                         timeline: Union[dict, FaultTimeline]) -> FaultTimeline:
+                         timeline: Union[dict, FaultTimeline], *,
+                         anchor: Union[None, str, float] = None
+                         ) -> FaultTimeline:
         """Install a declarative fault timeline on *one* shard.
 
         Other shards never see it — the isolation a sharded deployment
-        exists to provide.  Returns the installed timeline.
+        exists to provide.  ``anchor`` rebases the timeline's (relative)
+        event times before installation:
+
+        * ``None`` — install as written (times are absolute);
+        * ``"now"`` — shift by the shard cluster's current simulated
+          time, so a relative timeline starts "from here" (the common
+          case mid-workload);
+        * a number — shift by that offset explicitly.
+
+        Returns the timeline actually installed (post-shift), so callers
+        can read ``tau_no_tr`` and friends in absolute time.
         """
         if not isinstance(timeline, FaultTimeline):
             timeline = FaultTimeline.from_dict(timeline)
+        if anchor is not None:
+            if anchor == "now":
+                offset = self.group[shard].now
+            elif isinstance(anchor, bool) or not isinstance(
+                    anchor, (int, float)):
+                raise ValueError(f"anchor must be None, 'now' or a number, "
+                                 f"got {anchor!r}")
+            else:
+                offset = float(anchor)
+            timeline = timeline.shifted(offset)
         timeline.install(self.group[shard], self.injector_for(shard))
         return timeline
 

@@ -23,12 +23,8 @@ from typing import Any, Callable, Dict, Tuple
 
 from ..checkers.atomicity import check_linearizable, find_new_old_inversions
 from ..experiments.figure1 import run_figure1
-from ..workloads.scenarios import (INITIAL, run_kv_scenario,
-                                   run_mobile_byzantine_scenario,
-                                   run_mwmr_scenario,
-                                   run_partition_scenario,
-                                   run_soak_scenario,
-                                   run_swsr_scenario)
+from ..workloads.scenarios import INITIAL
+from ..workloads.spec import run_scenario
 
 Sections = Tuple[Dict[str, bool], Dict[str, int], Dict[str, float], str]
 
@@ -63,13 +59,13 @@ def run_swsr_cell(params: Dict[str, Any]) -> Sections:
     after τ_no_tr — Theorem 3's headline; regular cells report the count as
     a fact only (regularity legally allows inversions, Figure 1's point).
     """
-    result = run_swsr_scenario(**params)
+    result = run_scenario("swsr", **params)
     return _stabilizing_sections(result, params)
 
 
 def run_mwmr_cell(params: Dict[str, Any]) -> Sections:
     """MWMR cell: ``ok`` = terminates + the history linearizes."""
-    result = run_mwmr_scenario(**params)
+    result = run_scenario("mwmr", **params)
     linearizable = bool(result.completed
                         and check_linearizable(result.history).ok)
     summary = result.summarize()
@@ -117,7 +113,7 @@ def _stabilizing_sections(result, params: Dict[str, Any]) -> Sections:
 
 def run_partition_cell(params: Dict[str, Any]) -> Sections:
     """Partition-during-write cell; also reports dropped-message counts."""
-    result = run_partition_scenario(**params)
+    result = run_scenario("partition", **params)
     verdicts, counters, timings, digest = _stabilizing_sections(result,
                                                                 params)
     counters["messages_dropped"] = result.cluster.network.messages_dropped
@@ -126,7 +122,7 @@ def run_partition_cell(params: Dict[str, Any]) -> Sections:
 
 def run_mobile_byz_cell(params: Dict[str, Any]) -> Sections:
     """Mobile Byzantine rotation cell: ok = terminates + stabilizes."""
-    result = run_mobile_byzantine_scenario(**params)
+    result = run_scenario("mobile-byz", **params)
     return _stabilizing_sections(result, params)
 
 
@@ -137,7 +133,7 @@ def run_soak_cell(params: Dict[str, Any]) -> Sections:
     The cell retains no history: every verdict and counter is read off
     the observation stream, which is the point of the family.
     """
-    result = run_soak_scenario(**params)
+    result = run_scenario("soak", **params)
     summary = result.summarize()
     tracker = result.extra.get("tracker")
     exact = bool(tracker.exact) if tracker is not None else True
@@ -191,7 +187,7 @@ def run_fuzz_cell(params: Dict[str, Any]) -> Sections:
 def run_kv_cell(params: Dict[str, Any]) -> Sections:
     """Sharded KV cell: ``ok`` = terminates + every key's post-τ history
     linearizes (each key judged against its own shard's τ)."""
-    result = run_kv_scenario(**params)
+    result = run_scenario("kv", **params)
     summary = result.summarize()
     linearizable = bool(summary.completed and result.linearizable)
     verdicts = {

@@ -1,0 +1,42 @@
+"""Asyncio service layer: the KV store behind a real front door.
+
+Splits cleanly into *protocol* (length-prefixed JSON frames with typed
+error codes — :mod:`~repro.service.protocol`), *transport* (in-process
+loopback for deterministic CI runs, TCP for real load —
+:mod:`~repro.service.transport`), *server* (batch execution against the
+:class:`~repro.kvstore.sharded.ShardedKVStore` simulation, graceful
+drain — :mod:`~repro.service.server`) and *client* (async
+:class:`KVClient` with reconnect + a sync wrapper —
+:mod:`~repro.service.client`).  ``python -m repro.service`` serves TCP
+or runs the loopback load bench.
+
+>>> import asyncio
+>>> from repro.service import KVClient, KVService, ServiceServer
+>>> async def demo():
+...     server = ServiceServer(KVService(shard_count=2, seed=7))
+...     async with KVClient.loopback(server) as client:
+...         await client.put("user:alice", {"role": "admin"})
+...         value = await client.get("user:alice")
+...     await server.shutdown()
+...     return value
+>>> asyncio.run(demo())
+{'role': 'admin'}
+"""
+
+from .client import KVClient, ServiceError, SyncKVClient
+from .loadgen import LoadReport, run_loopback_load
+from .protocol import (ERROR_CODES, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                       BatchOp, FrameDecoder, ProtocolError, Request,
+                       Response, encode_frame)
+from .server import KVService, ServiceServer, serve_tcp
+from .transport import (LoopbackTransport, TcpTransport, Transport,
+                        loopback_pair, open_tcp_transport)
+
+__all__ = [
+    "BatchOp", "ERROR_CODES", "FrameDecoder", "KVClient", "KVService",
+    "LoadReport", "LoopbackTransport", "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION", "ProtocolError", "Request", "Response",
+    "ServiceError", "ServiceServer", "SyncKVClient", "TcpTransport",
+    "Transport", "encode_frame", "loopback_pair", "open_tcp_transport",
+    "run_loopback_load", "serve_tcp",
+]

@@ -1,0 +1,275 @@
+"""The client library: async ``KVClient`` and a sync convenience wrapper.
+
+A :class:`KVClient` speaks the framed protocol over any transport
+factory — TCP (:meth:`KVClient.tcp`) or an in-process loopback server
+(:meth:`KVClient.loopback`).  Requests are correlated by id, so a client
+may have many awaits outstanding: a background reader task dispatches
+responses to their futures in arrival order, which is what makes
+concurrent client tasks over one connection cheap.
+
+Failed transports reconnect transparently: a send that hits a dead
+connection re-dials the factory and retries the request (operations are
+register writes/reads — re-issuing is idempotent at the store level) up
+to ``max_retries`` times.  Error responses surface as
+:class:`ServiceError` carrying the protocol error code.
+
+:class:`SyncKVClient` wraps a :class:`KVClient` in a private event loop
+for scripts and REPLs that do not want to be async.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Iterable, List, Optional, \
+    Sequence, Tuple, Union
+
+from .protocol import BatchOp, ProtocolError, Request, Response
+from .transport import Transport, open_tcp_transport
+
+#: batch entries accepted by :meth:`KVClient.batch`: ``("put", key,
+#: value)`` / ``("get", key)`` tuples or ready-made :class:`BatchOp`\ s.
+BatchEntry = Union[BatchOp, Tuple[str, str], Tuple[str, str, Any]]
+
+
+class ServiceError(Exception):
+    """An error response from the service (``code`` is the wire code)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+def _as_batch_op(entry: BatchEntry) -> BatchOp:
+    if isinstance(entry, BatchOp):
+        return entry
+    kind = entry[0]
+    if kind == "put":
+        if len(entry) != 3:
+            raise ValueError(f"put entries are ('put', key, value), "
+                             f"got {entry!r}")
+        return BatchOp("put", entry[1], entry[2])
+    if kind == "get":
+        if len(entry) != 2:
+            raise ValueError(f"get entries are ('get', key), got {entry!r}")
+        return BatchOp("get", entry[1])
+    raise ValueError(f"batch entry kind must be 'put' or 'get', "
+                     f"got {kind!r}")
+
+
+class KVClient:
+    """Asynchronous KV service client with reconnect and pipelining.
+
+    ``connect`` is an async factory returning a fresh
+    :class:`~repro.service.transport.Transport`; the client dials it
+    lazily on first use and again after a connection failure.
+    """
+
+    def __init__(self, connect: Callable[[], Awaitable[Transport]], *,
+                 client: Optional[str] = None, max_retries: int = 2,
+                 retry_delay: float = 0.05):
+        self._connect = connect
+        self.client = client
+        self.max_retries = max_retries
+        self.retry_delay = retry_delay
+        self._transport: Optional[Transport] = None
+        self._reader: Optional["asyncio.Task[None]"] = None
+        self._pending: Dict[int, "asyncio.Future[Response]"] = {}
+        self._next_id = 0
+        self._closed = False
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def tcp(cls, host: str, port: int, **kwargs: Any) -> "KVClient":
+        """A client dialing ``host:port`` over TCP."""
+        return cls(lambda: open_tcp_transport(host, port), **kwargs)
+
+    @classmethod
+    def loopback(cls, server: Any, **kwargs: Any) -> "KVClient":
+        """A client served in-process by a
+        :class:`~repro.service.server.ServiceServer`."""
+
+        async def connect() -> Transport:
+            return server.connect_loopback()
+
+        return cls(connect, **kwargs)
+
+    # -- connection lifecycle ----------------------------------------------
+    async def connect(self) -> None:
+        """Dial the transport now (otherwise done lazily on first use)."""
+        if self._transport is None:
+            await self._reconnect()
+
+    async def _reconnect(self) -> None:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        await self._teardown()
+        self._transport = await self._connect()
+        self._reader = asyncio.get_running_loop().create_task(
+            self._read_loop(self._transport))
+
+    async def _teardown(self) -> None:
+        if self._reader is not None:
+            self._reader.cancel()
+            try:
+                await self._reader
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader = None
+        if self._transport is not None:
+            await self._transport.close()
+            self._transport = None
+        self._fail_pending(ConnectionError("connection reset"))
+
+    def _fail_pending(self, error: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def _read_loop(self, transport: Transport) -> None:
+        try:
+            while True:
+                payload = await transport.receive()
+                if payload is None:
+                    self._fail_pending(ConnectionError(
+                        f"server {transport.peer} closed the connection"))
+                    return
+                response = Response.from_payload(payload)
+                future = self._pending.pop(response.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except ProtocolError as exc:
+            self._fail_pending(exc)
+        except (ConnectionError, OSError) as exc:
+            self._fail_pending(ConnectionError(str(exc)))
+
+    async def close(self) -> None:
+        """Tear the connection down; the client cannot be reused after."""
+        self._closed = True
+        await self._teardown()
+
+    async def __aenter__(self) -> "KVClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # -- request plumbing --------------------------------------------------
+    def _claim_id(self) -> int:
+        request_id = self._next_id
+        self._next_id += 1
+        return request_id
+
+    async def _request(self, build: Callable[[int], Request]) -> Response:
+        last_error: Exception = ConnectionError("not connected")
+        for attempt in range(self.max_retries + 1):
+            if attempt and self.retry_delay:
+                await asyncio.sleep(self.retry_delay * attempt)
+            try:
+                if self._transport is None:
+                    await self._reconnect()
+                request = build(self._claim_id())
+                future: "asyncio.Future[Response]" = \
+                    asyncio.get_running_loop().create_future()
+                self._pending[request.request_id] = future
+                try:
+                    await self._transport.send(request.to_payload())
+                    response = await future
+                finally:
+                    self._pending.pop(request.request_id, None)
+                if not response.ok:
+                    raise ServiceError(response.error or "E_INTERNAL",
+                                       response.message or "request failed")
+                return response
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                self._transport = None   # force a re-dial next attempt
+        raise ConnectionError(
+            f"request failed after {self.max_retries + 1} attempts: "
+            f"{last_error}") from last_error
+
+    # -- operations --------------------------------------------------------
+    async def get(self, key: str, *, client: Optional[str] = None) -> Any:
+        """The current value of ``key`` (``None`` if never written)."""
+        pid = client or self.client
+        response = await self._request(
+            lambda rid: Request.get(rid, key, client=pid))
+        return response.value
+
+    async def put(self, key: str, value: Any, *,
+                  client: Optional[str] = None) -> None:
+        """Write ``value`` to ``key``; resolves once linearized."""
+        pid = client or self.client
+        await self._request(
+            lambda rid: Request.put(rid, key, value, client=pid))
+
+    async def batch(self, entries: Iterable[BatchEntry], *,
+                    client: Optional[str] = None) -> List[Any]:
+        """Run many operations in one request (one simulation drain).
+
+        Entries execute in program order per store client; results come
+        back in entry order (``None`` for puts).  ``client`` names the
+        logical store client issuing this batch (default: the client's
+        configured one, else the server's first).
+        """
+        ops = [_as_batch_op(entry) for entry in entries]
+        pid = client or self.client
+        response = await self._request(
+            lambda rid: Request.batch(rid, ops, client=pid))
+        return list(response.results or ())
+
+    async def stats(self) -> Dict[str, Any]:
+        """Server counters and digests (see ``KVService.stats``)."""
+        response = await self._request(Request.stats)
+        return dict(response.stats or {})
+
+
+class SyncKVClient:
+    """Blocking facade over :class:`KVClient` for non-async callers.
+
+    Owns a private event loop; do **not** use from inside a running
+    event loop (use :class:`KVClient` directly there).
+    """
+
+    def __init__(self, client: KVClient):
+        self._client = client
+        self._loop = asyncio.new_event_loop()
+
+    @classmethod
+    def tcp(cls, host: str, port: int, **kwargs: Any) -> "SyncKVClient":
+        return cls(KVClient.tcp(host, port, **kwargs))
+
+    def _run(self, coroutine: Awaitable[Any]) -> Any:
+        return self._loop.run_until_complete(coroutine)
+
+    def connect(self) -> None:
+        self._run(self._client.connect())
+
+    def get(self, key: str) -> Any:
+        return self._run(self._client.get(key))
+
+    def put(self, key: str, value: Any) -> None:
+        self._run(self._client.put(key, value))
+
+    def batch(self, entries: Sequence[BatchEntry]) -> List[Any]:
+        return self._run(self._client.batch(entries))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._run(self._client.stats())
+
+    def close(self) -> None:
+        try:
+            self._run(self._client.close())
+        finally:
+            self._loop.close()
+
+    def __enter__(self) -> "SyncKVClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,373 @@
+"""The wire protocol: length-prefixed JSON frames, typed both ways.
+
+One frame = one 4-byte big-endian length header followed by exactly that
+many bytes of canonical JSON (UTF-8, sorted keys, no whitespace).  The
+payload is always a JSON object carrying a protocol-version field
+(``"v"``); anything else — truncated header, oversized length, garbage
+bytes, a JSON array — is a *typed* :class:`ProtocolError`, never a bare
+``json`` or ``struct`` exception.  The framing layer is transport-
+agnostic: the TCP transport reads frames off a socket stream, the
+loopback transport round-trips the same bytes through in-process queues,
+and both feed :class:`FrameDecoder`.
+
+Requests are ``GET`` / ``PUT`` / ``BATCH`` / ``STATS``; responses carry
+``ok`` plus either a value (``GET``/``PUT``), per-operation ``results``
+(``BATCH``), a ``stats`` object (``STATS``), or an error code from
+:data:`ERROR_CODES`.  Version mismatches are rejected with ``E_VERSION``
+on both sides.
+
+>>> request = Request.get(7, "user:alice", client="c1")
+>>> decoder = FrameDecoder()
+>>> [payload] = decoder.feed(encode_frame(request.to_payload()))
+>>> Request.from_payload(payload) == request
+True
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: bump when the frame or payload shape changes incompatibly; both ends
+#: reject mismatches with ``E_VERSION`` instead of guessing.
+PROTOCOL_VERSION = 1
+
+#: hard ceiling on one frame's JSON body — a corrupt length prefix must
+#: not make a reader try to buffer gigabytes.
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct("!I")
+HEADER_BYTES = _HEADER.size
+
+# -- error codes -----------------------------------------------------------
+E_VERSION = "E_VERSION"          #: protocol-version mismatch
+E_MALFORMED = "E_MALFORMED"      #: frame body is not a JSON object
+E_FRAME = "E_FRAME"              #: framing violation (oversize/truncated)
+E_UNKNOWN_OP = "E_UNKNOWN_OP"    #: request op not in the vocabulary
+E_BAD_REQUEST = "E_BAD_REQUEST"  #: op known, fields invalid
+E_UNAVAILABLE = "E_UNAVAILABLE"  #: server draining / backend exhausted
+E_INTERNAL = "E_INTERNAL"        #: unexpected server-side failure
+
+ERROR_CODES = (E_VERSION, E_MALFORMED, E_FRAME, E_UNKNOWN_OP,
+               E_BAD_REQUEST, E_UNAVAILABLE, E_INTERNAL)
+
+REQUEST_OPS = ("GET", "PUT", "BATCH", "STATS")
+
+
+class ProtocolError(Exception):
+    """A typed protocol violation (``code`` is one of :data:`ERROR_CODES`)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def encode_payload(payload: Dict[str, Any]) -> bytes:
+    """Canonical JSON bytes of one payload object (sorted keys, compact)."""
+    try:
+        body = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(E_MALFORMED,
+                            f"payload is not JSON-serializable: {exc}")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(E_FRAME,
+                            f"frame body of {len(body)} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte limit")
+    return body
+
+
+def decode_payload(body: bytes) -> Dict[str, Any]:
+    """Parse one frame body; typed errors for garbage or non-objects."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(E_MALFORMED, f"frame body is not JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise ProtocolError(E_MALFORMED,
+                            "frame body must be a JSON object, got "
+                            f"{type(payload).__name__}")
+    return payload
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Length-prefix one payload into a complete wire frame."""
+    body = encode_payload(payload)
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary byte stream.
+
+    Feed chunks in whatever sizes the transport delivers them; complete
+    payloads come back in order.  A framing violation (length prefix over
+    :data:`MAX_FRAME_BYTES`, undecodable body) raises
+    :class:`ProtocolError` and poisons the decoder — the connection must
+    be torn down, resynchronizing inside a byte stream is guesswork.
+
+    >>> decoder = FrameDecoder()
+    >>> frame = encode_frame({"v": 1, "op": "STATS", "id": 0})
+    >>> decoder.feed(frame[:3])        # a partial header decodes nothing
+    []
+    >>> [payload] = decoder.feed(frame[3:])
+    >>> payload["op"]
+    'STATS'
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def buffered(self) -> int:
+        """Bytes received but not yet decoded into a payload."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Absorb ``data``; return every payload it completed."""
+        if self._poisoned:
+            raise ProtocolError(E_FRAME, "decoder poisoned by an earlier "
+                                         "framing violation")
+        self._buffer.extend(data)
+        payloads: List[Dict[str, Any]] = []
+        while len(self._buffer) >= HEADER_BYTES:
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                self._poisoned = True
+                raise ProtocolError(
+                    E_FRAME, f"frame length {length} exceeds the "
+                             f"{MAX_FRAME_BYTES}-byte limit")
+            if len(self._buffer) < HEADER_BYTES + length:
+                break
+            body = bytes(self._buffer[HEADER_BYTES:HEADER_BYTES + length])
+            del self._buffer[:HEADER_BYTES + length]
+            try:
+                payloads.append(decode_payload(body))
+            except ProtocolError:
+                self._poisoned = True
+                raise
+        return payloads
+
+
+def _require_version(payload: Dict[str, Any]) -> None:
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            E_VERSION, f"protocol version {version!r} is not supported "
+                       f"(this end speaks {PROTOCOL_VERSION})")
+
+
+def _require_id(payload: Dict[str, Any]) -> int:
+    request_id = payload.get("id")
+    if not isinstance(request_id, int) or isinstance(request_id, bool) \
+            or request_id < 0:
+        raise ProtocolError(E_BAD_REQUEST,
+                            f"request id must be a non-negative integer, "
+                            f"got {request_id!r}")
+    return request_id
+
+
+def _require_key(payload: Dict[str, Any]) -> str:
+    key = payload.get("key")
+    if not isinstance(key, str) or not key:
+        raise ProtocolError(E_BAD_REQUEST,
+                            f"key must be a non-empty string, got {key!r}")
+    return key
+
+
+@dataclass(frozen=True)
+class BatchOp:
+    """One operation inside a ``BATCH`` request (``kind``: put/get)."""
+
+    kind: str
+    key: str
+    value: Any = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": self.kind, "key": self.key}
+        if self.kind == "put":
+            payload["value"] = self.value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "BatchOp":
+        if not isinstance(payload, dict):
+            raise ProtocolError(E_BAD_REQUEST,
+                                "batch entries must be objects, got "
+                                f"{type(payload).__name__}")
+        kind = payload.get("op")
+        if kind not in ("put", "get"):
+            raise ProtocolError(E_BAD_REQUEST,
+                                f"batch op must be 'put' or 'get', "
+                                f"got {kind!r}")
+        key = _require_key(payload)
+        if kind == "put" and "value" not in payload:
+            raise ProtocolError(E_BAD_REQUEST,
+                                f"batch put({key!r}) is missing its value")
+        return cls(kind=kind, key=key, value=payload.get("value"))
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded client request (already version- and field-checked)."""
+
+    op: str
+    request_id: int
+    key: Optional[str] = None
+    value: Any = None
+    client: Optional[str] = None
+    ops: Tuple[BatchOp, ...] = ()
+    version: int = PROTOCOL_VERSION
+
+    # -- builders ----------------------------------------------------------
+    @classmethod
+    def get(cls, request_id: int, key: str,
+            client: Optional[str] = None) -> "Request":
+        return cls(op="GET", request_id=request_id, key=key, client=client)
+
+    @classmethod
+    def put(cls, request_id: int, key: str, value: Any,
+            client: Optional[str] = None) -> "Request":
+        return cls(op="PUT", request_id=request_id, key=key, value=value,
+                   client=client)
+
+    @classmethod
+    def batch(cls, request_id: int, ops: Iterable[BatchOp],
+              client: Optional[str] = None) -> "Request":
+        return cls(op="BATCH", request_id=request_id, ops=tuple(ops),
+                   client=client)
+
+    @classmethod
+    def stats(cls, request_id: int) -> "Request":
+        return cls(op="STATS", request_id=request_id)
+
+    # -- wire form ---------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"v": self.version, "id": self.request_id,
+                                   "op": self.op}
+        if self.client is not None:
+            payload["client"] = self.client
+        if self.op in ("GET", "PUT"):
+            payload["key"] = self.key
+        if self.op == "PUT":
+            payload["value"] = self.value
+        if self.op == "BATCH":
+            payload["ops"] = [op.to_payload() for op in self.ops]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Request":
+        _require_version(payload)
+        request_id = _require_id(payload)
+        op = payload.get("op")
+        if op not in REQUEST_OPS:
+            raise ProtocolError(E_UNKNOWN_OP,
+                                f"unknown request op {op!r} (expected one "
+                                f"of {', '.join(REQUEST_OPS)})")
+        client = payload.get("client")
+        if client is not None and not isinstance(client, str):
+            raise ProtocolError(E_BAD_REQUEST,
+                                f"client must be a string, got {client!r}")
+        key = value = None
+        ops: Tuple[BatchOp, ...] = ()
+        if op in ("GET", "PUT"):
+            key = _require_key(payload)
+        if op == "PUT":
+            if "value" not in payload:
+                raise ProtocolError(E_BAD_REQUEST,
+                                    f"PUT({key!r}) is missing its value")
+            value = payload["value"]
+        if op == "BATCH":
+            entries = payload.get("ops")
+            if not isinstance(entries, list) or not entries:
+                raise ProtocolError(E_BAD_REQUEST,
+                                    "BATCH needs a non-empty 'ops' list")
+            ops = tuple(BatchOp.from_payload(entry) for entry in entries)
+        return cls(op=op, request_id=request_id, key=key, value=value,
+                   client=client, ops=ops)
+
+
+@dataclass(frozen=True)
+class Response:
+    """A decoded server response; ``ok=False`` carries a typed error."""
+
+    request_id: int
+    ok: bool
+    value: Any = None
+    results: Optional[Tuple[Any, ...]] = None
+    stats: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    message: Optional[str] = None
+    version: int = PROTOCOL_VERSION
+
+    # -- builders ----------------------------------------------------------
+    @classmethod
+    def success(cls, request_id: int, value: Any = None,
+                results: Optional[Iterable[Any]] = None,
+                stats: Optional[Dict[str, Any]] = None) -> "Response":
+        return cls(request_id=request_id, ok=True, value=value,
+                   results=None if results is None else tuple(results),
+                   stats=stats)
+
+    @classmethod
+    def failure(cls, request_id: int, code: str,
+                message: str) -> "Response":
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        return cls(request_id=request_id, ok=False, error=code,
+                   message=message)
+
+    def raise_for_error(self) -> "Response":
+        """Re-raise a failure response as a :class:`ProtocolError`."""
+        if not self.ok:
+            raise ProtocolError(self.error or E_INTERNAL,
+                                self.message or "request failed")
+        return self
+
+    # -- wire form ---------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"v": self.version, "id": self.request_id,
+                                   "ok": self.ok}
+        if self.ok:
+            if self.results is not None:
+                payload["results"] = list(self.results)
+            elif self.stats is not None:
+                payload["stats"] = self.stats
+            else:
+                payload["value"] = self.value
+        else:
+            payload["error"] = self.error
+            payload["message"] = self.message
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Response":
+        _require_version(payload)
+        request_id = _require_id(payload)
+        ok = payload.get("ok")
+        if not isinstance(ok, bool):
+            raise ProtocolError(E_MALFORMED,
+                                f"response 'ok' must be a boolean, "
+                                f"got {ok!r}")
+        if not ok:
+            code = payload.get("error")
+            if code not in ERROR_CODES:
+                raise ProtocolError(E_MALFORMED,
+                                    f"unknown response error code {code!r}")
+            return cls(request_id=request_id, ok=False, error=code,
+                       message=str(payload.get("message", "")))
+        results = payload.get("results")
+        if results is not None and not isinstance(results, list):
+            raise ProtocolError(E_MALFORMED,
+                                "response 'results' must be a list")
+        stats = payload.get("stats")
+        if stats is not None and not isinstance(stats, dict):
+            raise ProtocolError(E_MALFORMED,
+                                "response 'stats' must be an object")
+        return cls(request_id=request_id, ok=True,
+                   value=payload.get("value"),
+                   results=None if results is None else tuple(results),
+                   stats=stats)

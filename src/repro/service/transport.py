@@ -1,0 +1,168 @@
+"""Pluggable transports: the same frames over queues or sockets.
+
+A :class:`Transport` moves whole protocol payloads between two endpoints;
+everything above it (:mod:`~repro.service.server`,
+:mod:`~repro.service.client`) is transport-blind.  Two implementations:
+
+* :class:`LoopbackTransport` — an in-process pair connected by byte
+  queues.  Payloads still round-trip through ``encode_frame`` /
+  :class:`~repro.service.protocol.FrameDecoder`, so the wire format is
+  exercised bit-for-bit, but no socket, thread or wall clock is
+  involved: a loopback client/server session is as deterministic as the
+  simulation behind it — the mode CI pins digests on.
+* :class:`TcpTransport` — the same frames over an
+  ``asyncio`` TCP stream (``open_connection`` / ``start_server``), the
+  deployment shape for real load.
+
+Both ends treat a clean EOF as ``receive() -> None`` and framing garbage
+as a typed :class:`~repro.service.protocol.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Protocol, Tuple
+
+from .protocol import (HEADER_BYTES, MAX_FRAME_BYTES, E_FRAME, FrameDecoder,
+                       ProtocolError, decode_payload, encode_frame)
+
+
+class Transport(Protocol):
+    """What the server and client require of a connection."""
+
+    @property
+    def peer(self) -> str:
+        """Human-readable endpoint description (logs, errors)."""
+        ...
+
+    async def send(self, payload: Dict[str, Any]) -> None:
+        """Frame and deliver one payload; raises on a closed transport."""
+        ...
+
+    async def receive(self) -> Optional[Dict[str, Any]]:
+        """The next payload, or ``None`` once the peer closed cleanly."""
+        ...
+
+    async def close(self) -> None:
+        """Release the connection; idempotent."""
+        ...
+
+
+class LoopbackTransport:
+    """One endpoint of an in-process, byte-faithful connection.
+
+    Create endpoints in pairs via :func:`loopback_pair`; bytes written on
+    one side surface on the other through an ``asyncio.Queue``, after a
+    full encode → decode round trip of the real wire format.
+    """
+
+    def __init__(self, inbound: "asyncio.Queue[Optional[bytes]]",
+                 outbound: "asyncio.Queue[Optional[bytes]]",
+                 peer: str) -> None:
+        self._inbound = inbound
+        self._outbound = outbound
+        self._peer = peer
+        self._decoder = FrameDecoder()
+        self._ready: Deque[Dict[str, Any]] = deque()
+        self._closed = False
+        self._eof = False
+
+    @property
+    def peer(self) -> str:
+        return self._peer
+
+    async def send(self, payload: Dict[str, Any]) -> None:
+        if self._closed:
+            raise ConnectionError(f"loopback transport to {self._peer} "
+                                  "is closed")
+        await self._outbound.put(encode_frame(payload))
+
+    async def receive(self) -> Optional[Dict[str, Any]]:
+        while not self._ready:
+            if self._eof:
+                return None
+            chunk = await self._inbound.get()
+            if chunk is None:            # peer hung up
+                self._eof = True
+                return None
+            self._ready.extend(self._decoder.feed(chunk))
+        return self._ready.popleft()
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        await self._outbound.put(None)
+
+
+def loopback_pair(label: str = "loopback"
+                  ) -> Tuple[LoopbackTransport, LoopbackTransport]:
+    """A connected ``(client_end, server_end)`` transport pair."""
+    to_server: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+    to_client: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+    client_end = LoopbackTransport(to_client, to_server, f"{label}:server")
+    server_end = LoopbackTransport(to_server, to_client, f"{label}:client")
+    return client_end, server_end
+
+
+class TcpTransport:
+    """Protocol frames over an asyncio TCP stream."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        peername = writer.get_extra_info("peername")
+        self._peer = (f"{peername[0]}:{peername[1]}"
+                      if isinstance(peername, tuple) and len(peername) >= 2
+                      else str(peername))
+        self._closed = False
+
+    @property
+    def peer(self) -> str:
+        return self._peer
+
+    async def send(self, payload: Dict[str, Any]) -> None:
+        if self._closed:
+            raise ConnectionError(f"transport to {self._peer} is closed")
+        self._writer.write(encode_frame(payload))
+        await self._writer.drain()
+
+    async def receive(self) -> Optional[Dict[str, Any]]:
+        try:
+            header = await self._reader.readexactly(HEADER_BYTES)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:          # clean EOF between frames
+                return None
+            raise ProtocolError(E_FRAME,
+                                "connection dropped inside a frame header")
+        except (ConnectionError, OSError):
+            return None
+        length = int.from_bytes(header, "big")
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(E_FRAME,
+                                f"frame length {length} exceeds the "
+                                f"{MAX_FRAME_BYTES}-byte limit")
+        try:
+            body = await self._reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(E_FRAME,
+                                "connection dropped inside a frame body")
+        return decode_payload(body)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def open_tcp_transport(host: str, port: int) -> TcpTransport:
+    """Dial ``host:port`` and wrap the stream in a :class:`TcpTransport`."""
+    reader, writer = await asyncio.open_connection(host, port)
+    return TcpTransport(reader, writer)

@@ -8,12 +8,13 @@ from .scenarios import (KVScenarioResult, ScenarioResult, ScenarioSummary,
                         run_mobile_byzantine_scenario, run_mwmr_scenario,
                         run_partition_scenario, run_soak_scenario,
                         run_swsr_scenario)
+from .spec import ScenarioSpec, run_scenario, scenario_families
 
 __all__ = [
     "ClientDriver", "KVScenarioResult", "OpSpec", "ScenarioEngine",
-    "ScenarioResult", "ScenarioSummary", "ValueStream",
+    "ScenarioResult", "ScenarioSpec", "ScenarioSummary", "ValueStream",
     "alternating_schedule", "burst_schedule", "history_digest",
     "run_kv_scenario", "run_mobile_byzantine_scenario",
-    "run_mwmr_scenario", "run_partition_scenario", "run_soak_scenario",
-    "run_swsr_scenario",
+    "run_mwmr_scenario", "run_partition_scenario", "run_scenario",
+    "run_soak_scenario", "run_swsr_scenario", "scenario_families",
 ]

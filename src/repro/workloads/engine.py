@@ -65,6 +65,20 @@ class ScenarioEngine:
                                         keep_history=keep_history)
         self.drivers: List[ClientDriver] = []
 
+    # -- spec entry point --------------------------------------------------
+    @classmethod
+    def run_spec(cls, spec, **params):
+        """Run a :class:`~repro.workloads.spec.ScenarioSpec` (or family
+        name / spec dict) and return the family's result object.
+
+        The engine is where every scenario family executes, so this is
+        the natural front door: ``ScenarioEngine.run_spec("swsr",
+        seed=1)`` is :func:`repro.workloads.spec.run_scenario` by another
+        name.
+        """
+        from .spec import run_scenario
+        return run_scenario(spec, **params)
+
     # -- driving -----------------------------------------------------------
     def driver(self, process) -> ClientDriver:
         """A sequential driver whose completions feed the stream."""

@@ -19,6 +19,8 @@ bounded peak-memory envelope.
 
 from __future__ import annotations
 
+import functools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -720,9 +722,9 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
                 tau_local = max(tau_local, anchor + time)
             timeline = timelines.get(shard)
             if timeline is not None:
-                shifted = timeline.shifted(anchor)
-                store.install_timeline(shard, shifted)
-                tau_local = max(tau_local, anchor + timeline.tau_no_tr)
+                installed = store.install_timeline(shard, timeline,
+                                                   anchor=anchor)
+                tau_local = max(tau_local, installed.tau_no_tr)
             tau_by_shard[shard] = tau_local
         for cluster, tau_local in zip(store.group, tau_by_shard):
             cluster.run(until=tau_local + 1.0)
@@ -949,3 +951,45 @@ def run_soak_scenario(kind: str = "regular", n: int = 9, t: int = 1,
                               "chunk_ops": chunk_ops,
                               "write_window": write_window,
                               "read_window": read_window})
+
+
+# -- deprecated entry points ------------------------------------------------
+# The blessed way to run a scenario is a ScenarioSpec (repro.workloads.spec):
+# one config object, one vocabulary of families, validated parameters.  The
+# historical per-family entry points remain as thin shims so existing code
+# keeps working, but new code should not grow calls to them.
+
+_run_swsr_scenario = run_swsr_scenario
+_run_mwmr_scenario = run_mwmr_scenario
+_run_partition_scenario = run_partition_scenario
+_run_kv_scenario = run_kv_scenario
+_run_mobile_byzantine_scenario = run_mobile_byzantine_scenario
+_run_soak_scenario = run_soak_scenario
+
+
+def _deprecated_entry(impl, family: str):
+    """Wrap ``impl`` so direct calls steer callers to the spec path."""
+
+    @functools.wraps(impl)
+    def shim(*args, **kwargs):
+        warnings.warn(
+            f"{impl.__name__} is deprecated; use "
+            f"ScenarioSpec({family!r}, **params).run() or "
+            f"run_scenario({family!r}, **params) from repro.api",
+            DeprecationWarning, stacklevel=2)
+        return impl(*args, **kwargs)
+
+    shim.__doc__ = (f"Deprecated alias for ``ScenarioSpec({family!r})`` — "
+                    f"see :mod:`repro.workloads.spec`.  Parameters are "
+                    f"those of the ``{family}`` family.")
+    return shim
+
+
+run_swsr_scenario = _deprecated_entry(_run_swsr_scenario, "swsr")
+run_mwmr_scenario = _deprecated_entry(_run_mwmr_scenario, "mwmr")
+run_partition_scenario = _deprecated_entry(_run_partition_scenario,
+                                           "partition")
+run_kv_scenario = _deprecated_entry(_run_kv_scenario, "kv")
+run_mobile_byzantine_scenario = _deprecated_entry(
+    _run_mobile_byzantine_scenario, "mobile-byz")
+run_soak_scenario = _deprecated_entry(_run_soak_scenario, "soak")

@@ -1,0 +1,162 @@
+"""One config object for every scenario family: :class:`ScenarioSpec`.
+
+Historically each family grew its own ``run_*_scenario`` entry point with
+a slightly different signature; sweep code, fuzz harnesses and notebooks
+all had to know which keyword went with which function.  A
+:class:`ScenarioSpec` replaces that with a single validated value:
+
+>>> spec = ScenarioSpec("swsr", seed=3, num_writes=2, num_reads=2)
+>>> spec.family
+'swsr'
+>>> result = spec.run()
+>>> result.completed
+True
+
+Specs are plain data — comparable, serializable via
+:meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict`, tweakable
+via :meth:`ScenarioSpec.with_params` — and validated eagerly: an unknown
+parameter or family raises at construction time, not minutes into a
+sweep.  :func:`run_scenario` is the call-shaped convenience;
+``ScenarioEngine.run_spec`` is the same thing reachable from the engine.
+
+Families (aliases in parentheses): ``swsr``, ``mwmr``, ``partition``,
+``kv``, ``mobile-byz`` (``mobile-byzantine``, ``mobile_byzantine``),
+``soak``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Tuple, Union
+
+from . import scenarios as _scenarios
+
+__all__ = ["FAMILIES", "ScenarioSpec", "run_scenario", "scenario_families"]
+
+#: canonical family name -> implementation (the un-deprecated callables).
+FAMILIES: Dict[str, Callable[..., Any]] = {
+    "swsr": _scenarios._run_swsr_scenario,
+    "mwmr": _scenarios._run_mwmr_scenario,
+    "partition": _scenarios._run_partition_scenario,
+    "kv": _scenarios._run_kv_scenario,
+    "mobile-byz": _scenarios._run_mobile_byzantine_scenario,
+    "soak": _scenarios._run_soak_scenario,
+}
+
+_ALIASES = {
+    "mobile-byzantine": "mobile-byz",
+    "mobile_byzantine": "mobile-byz",
+}
+
+
+def scenario_families() -> Tuple[str, ...]:
+    """The canonical family names, sorted."""
+    return tuple(sorted(FAMILIES))
+
+
+def _canonical_family(family: str) -> str:
+    if not isinstance(family, str):
+        raise TypeError(f"family must be a string, got {type(family).__name__}")
+    name = _ALIASES.get(family, family)
+    if name not in FAMILIES:
+        raise ValueError(
+            f"unknown scenario family {family!r}; expected one of "
+            f"{', '.join(scenario_families())}")
+    return name
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A validated, serializable description of one scenario run.
+
+    ``params`` are the keyword arguments of the family's implementation;
+    unknown keys raise :class:`TypeError` immediately, with the valid
+    vocabulary in the message.  Defaults are *not* materialized into the
+    spec — a spec only records what the caller pinned, so serialized
+    specs stay forward-compatible with new defaulted parameters.
+    """
+
+    family: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __init__(self, family: str, params: Mapping[str, Any] = (),
+                 **kwargs: Any):
+        merged = dict(params or {})
+        overlap = sorted(set(merged) & set(kwargs))
+        if overlap:
+            raise TypeError(f"parameters given both positionally and as "
+                            f"keywords: {', '.join(overlap)}")
+        merged.update(kwargs)
+        canonical = _canonical_family(family)
+        _validate_params(canonical, merged)
+        object.__setattr__(self, "family", canonical)
+        object.__setattr__(self, "params", merged)
+
+    # -- ergonomics --------------------------------------------------------
+    def with_params(self, **overrides: Any) -> "ScenarioSpec":
+        """A new spec with ``overrides`` merged over these params."""
+        merged = dict(self.params)
+        merged.update(overrides)
+        return ScenarioSpec(self.family, merged)
+
+    def defaults(self) -> Dict[str, Any]:
+        """Every parameter the family accepts, with its default value."""
+        signature = inspect.signature(FAMILIES[self.family])
+        return {name: parameter.default
+                for name, parameter in signature.parameters.items()}
+
+    def resolved(self) -> Dict[str, Any]:
+        """Family defaults overlaid with this spec's pinned params."""
+        merged = self.defaults()
+        merged.update(self.params)
+        return merged
+
+    # -- (de)serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"family": self.family, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        extra = sorted(set(payload) - {"family", "params"})
+        if extra:
+            raise ValueError(f"unexpected spec keys: {', '.join(extra)}")
+        return cls(payload["family"], dict(payload.get("params") or {}))
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> Any:
+        """Execute the scenario; returns the family's result object."""
+        return FAMILIES[self.family](**self.params)
+
+
+def _validate_params(family: str, params: Mapping[str, Any]) -> None:
+    bad_keys = [key for key in params if not isinstance(key, str)]
+    if bad_keys:
+        raise TypeError(f"parameter names must be strings, got "
+                        f"{bad_keys!r}")
+    signature = inspect.signature(FAMILIES[family])
+    unknown = sorted(set(params) - set(signature.parameters))
+    if unknown:
+        raise TypeError(
+            f"unknown parameter(s) for scenario family {family!r}: "
+            f"{', '.join(unknown)}; valid parameters: "
+            f"{', '.join(signature.parameters)}")
+
+
+def run_scenario(spec: Union[ScenarioSpec, str, Mapping[str, Any]],
+                 **params: Any) -> Any:
+    """Run a scenario described by a spec, family name or spec dict.
+
+    ``run_scenario("swsr", seed=1)`` builds the spec inline;
+    ``run_scenario(spec)`` runs it as-is (keyword overrides allowed, they
+    go through :meth:`ScenarioSpec.with_params`).
+    """
+    if isinstance(spec, ScenarioSpec):
+        return (spec.with_params(**params) if params else spec).run()
+    if isinstance(spec, str):
+        return ScenarioSpec(spec, params).run()
+    if isinstance(spec, Mapping):
+        built = ScenarioSpec.from_dict(spec)
+        return (built.with_params(**params) if params else built).run()
+    raise TypeError(f"spec must be a ScenarioSpec, family name or spec "
+                    f"dict, got {type(spec).__name__}")

@@ -18,7 +18,7 @@ def workflow():
 
 def test_workflow_parses_and_has_jobs(workflow):
     assert set(workflow["jobs"]) == {"lint", "test", "perf-smoke",
-                                     "fuzz-smoke", "docs"}
+                                     "fuzz-smoke", "service-smoke", "docs"}
     # "on" parses as YAML true; accept either spelling
     assert True in workflow or "on" in workflow
 
@@ -94,6 +94,34 @@ def test_fuzz_smoke_job_covers_the_kv_family(workflow):
                     for step in workflow["jobs"]["fuzz-smoke"]["steps"])
     assert "--family kv" in runs
     assert "fuzz-kv-results.json" in runs
+
+
+def test_service_smoke_job_gates_load_and_digests(workflow):
+    steps = workflow["jobs"]["service-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    # the loopback load bench runs with the wall-clock gate armed ...
+    assert "benchmarks/test_bench_service.py" in runs
+    gate_envs = [step.get("env", {}).get("REPRO_PERF_GATE")
+                 for step in steps if "test_bench_service" in
+                 step.get("run", "")]
+    assert gate_envs == ["1"]
+    # ... the CLI digest guard compares 1 vs 8 connections ...
+    assert "--clients 1" in runs and "--clients 8" in runs
+    assert "response_digest" in runs
+    # ... and BENCH_service.json is archived (also on failure).
+    uploads = [step for step in steps
+               if "upload-artifact" in step.get("uses", "")]
+    assert uploads, "service bench upload step missing"
+    assert uploads[0]["if"] == "always()"
+    assert "BENCH_service.json" in uploads[0]["with"]["path"]
+
+
+def test_docs_job_covers_the_new_surfaces(workflow):
+    runs = " ".join(step.get("run", "")
+                    for step in workflow["jobs"]["docs"]["steps"])
+    assert "src/repro/service" in runs
+    assert "src/repro/api.py" in runs
+    assert "src/repro/workloads/spec.py" in runs
 
 
 def test_docs_job_runs_the_doctest_surface(workflow):

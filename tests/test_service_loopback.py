@@ -1,0 +1,278 @@
+"""Loopback client/server behaviour: semantics, determinism, errors, drain.
+
+The loopback transport runs the real wire format through in-process
+queues over the deterministic store simulation, so these tests pin the
+full service stack without sockets.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service import (KVClient, KVService, ServiceError, ServiceServer,
+                           SyncKVClient, run_loopback_load, serve_tcp)
+from repro.service.protocol import (E_BAD_REQUEST, E_UNAVAILABLE, E_VERSION,
+                                    PROTOCOL_VERSION, Request, Response)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("shard_count", 2)
+    kwargs.setdefault("seed", 11)
+    return ServiceServer(KVService(**kwargs))
+
+
+class TestSemantics:
+    def test_put_get_round_trip(self):
+        async def main():
+            server = make_server()
+            async with KVClient.loopback(server) as client:
+                await client.put("k", {"deep": [1, None]})
+                value = await client.get("k")
+            await server.shutdown()
+            return value
+
+        assert run(main()) == {"deep": [1, None]}
+
+    def test_get_of_unwritten_key_is_none(self):
+        async def main():
+            server = make_server()
+            async with KVClient.loopback(server) as client:
+                value = await client.get("never-written")
+            await server.shutdown()
+            return value
+
+        assert run(main()) is None
+
+    def test_batch_results_in_entry_order(self):
+        async def main():
+            server = make_server()
+            async with KVClient.loopback(server) as client:
+                results = await client.batch([
+                    ("put", "a", 1), ("put", "b", 2),
+                    ("get", "a"), ("get", "b"), ("get", "c")])
+            await server.shutdown()
+            return results
+
+        assert run(main()) == [None, None, 1, 2, None]
+
+    def test_writes_visible_across_connections(self):
+        async def main():
+            server = make_server()
+            async with KVClient.loopback(server) as first:
+                await first.put("shared", "v1")
+            async with KVClient.loopback(server) as second:
+                value = await second.get("shared")
+            await server.shutdown()
+            return value
+
+        assert run(main()) == "v1"
+
+    def test_concurrent_requests_on_one_connection(self):
+        async def main():
+            server = make_server()
+            async with KVClient.loopback(server) as client:
+                await client.batch([("put", f"k{i}", i) for i in range(4)])
+                values = await asyncio.gather(
+                    *(client.get(f"k{i}") for i in range(4)))
+            await server.shutdown()
+            return values
+
+        assert run(main()) == [0, 1, 2, 3]
+
+    def test_stats_counts_operations(self):
+        async def main():
+            server = make_server()
+            async with KVClient.loopback(server) as client:
+                await client.put("k", 1)
+                await client.get("k")
+                stats = await client.stats()
+            await server.shutdown()
+            return stats
+
+        stats = run(main())
+        assert stats["writes"] == 1
+        assert stats["reads"] == 1
+        assert stats["ops"] == 2
+        assert stats["protocol_version"] == PROTOCOL_VERSION
+        assert stats["shards"] == 2
+        assert len(stats["history_digest"]) == 16
+        assert len(stats["response_digest"]) == 16
+
+
+class TestErrors:
+    def test_unknown_store_client_is_bad_request(self):
+        async def main():
+            server = make_server()
+            async with KVClient.loopback(server) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.get("k", client="not-a-client")
+            await server.shutdown()
+            return excinfo.value.code
+
+        assert run(main()) == E_BAD_REQUEST
+
+    def test_malformed_request_gets_error_response(self):
+        async def main():
+            server = make_server()
+            transport = server.connect_loopback()
+            await transport.send({"v": PROTOCOL_VERSION, "id": 5,
+                                  "op": "GET"})          # key missing
+            payload = await transport.receive()
+            await transport.close()
+            await server.shutdown()
+            return Response.from_payload(payload)
+
+        response = run(main())
+        assert not response.ok
+        assert response.error == E_BAD_REQUEST
+        assert response.request_id == 5
+
+    def test_version_mismatch_answered_then_disconnected(self):
+        async def main():
+            server = make_server()
+            transport = server.connect_loopback()
+            await transport.send({"v": 99, "id": 1, "op": "STATS"})
+            payload = await transport.receive()
+            eof = await transport.receive()
+            await transport.close()
+            await server.shutdown()
+            return Response.from_payload(payload), eof
+
+        response, eof = run(main())
+        assert response.error == E_VERSION
+        assert eof is None
+
+    def test_request_after_bad_one_still_served(self):
+        async def main():
+            server = make_server()
+            transport = server.connect_loopback()
+            await transport.send({"v": PROTOCOL_VERSION, "id": 0,
+                                  "op": "DELETE", "key": "k"})
+            first = Response.from_payload(await transport.receive())
+            await transport.send(Request.stats(1).to_payload())
+            second = Response.from_payload(await transport.receive())
+            await transport.close()
+            await server.shutdown()
+            return first, second
+
+        first, second = run(main())
+        assert not first.ok
+        assert second.ok and second.stats is not None
+
+
+class TestDrain:
+    def test_drain_refuses_data_ops_but_answers_stats(self):
+        async def main():
+            server = make_server()
+            client = KVClient.loopback(server)
+            await client.connect()
+            await client.put("k", 1)
+            server.service.begin_drain()
+            stats = await client.stats()
+            with pytest.raises(ServiceError) as excinfo:
+                await client.get("k")
+            await client.close()
+            await server.shutdown()
+            return stats, excinfo.value.code
+
+        stats, code = run(main())
+        assert stats["draining"] is True
+        assert code == E_UNAVAILABLE
+
+    def test_shutdown_is_idempotent(self):
+        async def main():
+            server = make_server()
+            async with KVClient.loopback(server) as client:
+                await client.put("k", 1)
+            await server.shutdown()
+            await server.shutdown()
+
+        run(main())
+
+
+class TestDeterminism:
+    def test_same_seed_same_history_digest(self):
+        first = run_loopback_load(clients=2, lanes=4, rounds=2,
+                                  keys_per_lane=2, shards=2, seed=99)
+        second = run_loopback_load(clients=2, lanes=4, rounds=2,
+                                   keys_per_lane=2, shards=2, seed=99)
+        assert first.mismatches == 0
+        assert first.history_digest == second.history_digest
+        assert first.response_digest == second.response_digest
+
+    def test_different_seed_different_history_digest(self):
+        first = run_loopback_load(clients=1, lanes=2, rounds=1,
+                                  keys_per_lane=2, shards=2, seed=1)
+        second = run_loopback_load(clients=1, lanes=2, rounds=1,
+                                   keys_per_lane=2, shards=2, seed=2)
+        assert first.history_digest != second.history_digest
+
+    def test_response_digest_is_connection_count_independent(self):
+        digests = {
+            run_loopback_load(clients=clients, lanes=4, rounds=2,
+                              keys_per_lane=2, shards=2,
+                              seed=77).response_digest
+            for clients in (1, 2, 4)}
+        assert len(digests) == 1
+
+    def test_load_report_counts(self):
+        report = run_loopback_load(clients=2, lanes=4, rounds=3,
+                                   keys_per_lane=2, shards=2, seed=5)
+        assert report.requests == 4 * 3
+        assert report.ops == 4 * 3 * 2 * 2
+        assert report.mismatches == 0
+        assert report.stats["ops"] == report.ops
+
+
+class TestTcpAndSyncClient:
+    def test_tcp_round_trip_async_client(self):
+        async def main():
+            server, host, port = await serve_tcp(
+                KVService(shard_count=2, seed=4))
+            async with KVClient.tcp(host, port) as client:
+                await client.put("k", "tcp")
+                value = await client.get("k")
+            await server.shutdown()
+            return value
+
+        assert run(main()) == "tcp"
+
+    def test_sync_wrapper_against_threaded_server(self):
+        # SyncKVClient owns a private loop, so the server must run in a
+        # loop of its own — a background thread, like a real deployment.
+        ready = threading.Event()
+        done = threading.Event()
+        address = {}
+
+        def serve():
+            async def main():
+                server, host, port = await serve_tcp(
+                    KVService(shard_count=2, seed=4))
+                address["addr"] = (host, port)
+                ready.set()
+                while not done.is_set():
+                    await asyncio.sleep(0.01)
+                await server.shutdown()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            assert ready.wait(10), "server never came up"
+            host, port = address["addr"]
+            with SyncKVClient.tcp(host, port) as client:
+                client.put("k", "sync")
+                assert client.get("k") == "sync"
+                assert client.batch([("put", "k2", [1]),
+                                     ("get", "k2")]) == [None, [1]]
+                assert client.stats()["ops"] >= 3
+        finally:
+            done.set()
+            thread.join(10)
+        assert not thread.is_alive()

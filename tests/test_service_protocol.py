@@ -1,0 +1,216 @@
+"""Wire-protocol round trips, framing fuzz and version rejection."""
+
+import random
+import struct
+
+import pytest
+
+from repro.service.protocol import (ERROR_CODES, HEADER_BYTES,
+                                    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                                    E_BAD_REQUEST, E_FRAME, E_MALFORMED,
+                                    E_UNKNOWN_OP, E_VERSION, BatchOp,
+                                    FrameDecoder, ProtocolError, Request,
+                                    Response, decode_payload, encode_frame,
+                                    encode_payload)
+
+
+class TestFrameRoundTrip:
+    def test_single_frame_round_trip(self):
+        payload = {"v": 1, "id": 3, "op": "GET", "key": "k"}
+        [decoded] = FrameDecoder().feed(encode_frame(payload))
+        assert decoded == payload
+
+    def test_many_frames_in_one_chunk(self):
+        payloads = [{"v": 1, "id": i, "op": "STATS"} for i in range(5)]
+        chunk = b"".join(encode_frame(p) for p in payloads)
+        assert FrameDecoder().feed(chunk) == payloads
+
+    def test_byte_at_a_time_reassembly(self):
+        payloads = [{"v": 1, "id": i, "op": "STATS"} for i in range(3)]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        decoder, seen = FrameDecoder(), []
+        for i in range(len(stream)):
+            seen.extend(decoder.feed(stream[i:i + 1]))
+        assert seen == payloads
+        assert decoder.buffered == 0
+
+    def test_random_chunking_is_equivalent(self):
+        rng = random.Random(20260808)
+        payloads = [{"v": 1, "id": i, "op": "PUT", "key": f"k{i}",
+                     "value": ["x"] * (i % 7)} for i in range(40)]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        for _ in range(20):
+            decoder, seen, offset = FrameDecoder(), [], 0
+            while offset < len(stream):
+                step = rng.randint(1, 64)
+                seen.extend(decoder.feed(stream[offset:offset + step]))
+                offset += step
+            assert seen == payloads
+
+    def test_canonical_encoding_is_key_order_independent(self):
+        a = encode_payload({"v": 1, "id": 0, "op": "STATS"})
+        b = encode_payload({"op": "STATS", "id": 0, "v": 1})
+        assert a == b
+
+
+class TestFramingViolations:
+    def test_oversize_length_prefix_poisons(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError) as excinfo:
+            decoder.feed(struct.pack("!I", MAX_FRAME_BYTES + 1))
+        assert excinfo.value.code == E_FRAME
+        with pytest.raises(ProtocolError):   # poisoned for good
+            decoder.feed(b"")
+
+    def test_garbage_body_is_typed_malformed(self):
+        body = b"\xff\xfenot json"
+        frame = struct.pack("!I", len(body)) + body
+        with pytest.raises(ProtocolError) as excinfo:
+            FrameDecoder().feed(frame)
+        assert excinfo.value.code == E_MALFORMED
+
+    def test_non_object_body_rejected(self):
+        body = b"[1,2,3]"
+        with pytest.raises(ProtocolError) as excinfo:
+            FrameDecoder().feed(struct.pack("!I", len(body)) + body)
+        assert excinfo.value.code == E_MALFORMED
+
+    def test_unserializable_payload_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            encode_payload({"v": 1, "bad": object()})
+        assert excinfo.value.code == E_MALFORMED
+
+    def test_oversize_payload_rejected_on_encode(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            encode_payload({"v": 1, "blob": "x" * (MAX_FRAME_BYTES + 1)})
+        assert excinfo.value.code == E_FRAME
+
+    def test_fuzzed_garbage_never_escapes_typed_errors(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            blob = bytes(rng.randrange(256)
+                         for _ in range(rng.randrange(0, 40)))
+            decoder = FrameDecoder()
+            try:
+                for payload in decoder.feed(blob):
+                    assert isinstance(payload, dict)
+            except ProtocolError as exc:
+                assert exc.code in ERROR_CODES
+
+    def test_truncated_frame_stays_buffered(self):
+        frame = encode_frame({"v": 1, "id": 0, "op": "STATS"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        assert decoder.buffered == len(frame) - 1
+
+
+class TestRequestCodec:
+    def test_all_builders_round_trip(self):
+        requests = [
+            Request.get(0, "k", client="c1"),
+            Request.put(1, "k", {"nested": [1, None]}),
+            Request.batch(2, [BatchOp("put", "a", 1), BatchOp("get", "a")],
+                          client="c2"),
+            Request.stats(3),
+        ]
+        for request in requests:
+            assert Request.from_payload(request.to_payload()) == request
+
+    def test_version_mismatch_rejected(self):
+        payload = Request.stats(0).to_payload()
+        payload["v"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError) as excinfo:
+            Request.from_payload(payload)
+        assert excinfo.value.code == E_VERSION
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            Request.from_payload({"id": 0, "op": "STATS"})
+        assert excinfo.value.code == E_VERSION
+
+    @pytest.mark.parametrize("bad_id", [-1, "3", None, True, 1.5])
+    def test_bad_request_id_rejected(self, bad_id):
+        with pytest.raises(ProtocolError) as excinfo:
+            Request.from_payload({"v": 1, "id": bad_id, "op": "STATS"})
+        assert excinfo.value.code == E_BAD_REQUEST
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            Request.from_payload({"v": 1, "id": 0, "op": "DELETE",
+                                  "key": "k"})
+        assert excinfo.value.code == E_UNKNOWN_OP
+
+    @pytest.mark.parametrize("payload", [
+        {"v": 1, "id": 0, "op": "GET"},                      # no key
+        {"v": 1, "id": 0, "op": "GET", "key": ""},           # empty key
+        {"v": 1, "id": 0, "op": "PUT", "key": "k"},          # no value
+        {"v": 1, "id": 0, "op": "BATCH", "ops": []},         # empty batch
+        {"v": 1, "id": 0, "op": "BATCH", "ops": "nope"},     # not a list
+        {"v": 1, "id": 0, "op": "BATCH",
+         "ops": [{"op": "put", "key": "k"}]},                # put sans value
+        {"v": 1, "id": 0, "op": "GET", "key": "k",
+         "client": 7},                                       # non-str client
+    ])
+    def test_field_validation(self, payload):
+        with pytest.raises(ProtocolError) as excinfo:
+            Request.from_payload(payload)
+        assert excinfo.value.code == E_BAD_REQUEST
+
+    def test_put_value_none_is_explicit(self):
+        # "value": null is a legal value, distinct from a missing field.
+        request = Request.from_payload({"v": 1, "id": 0, "op": "PUT",
+                                        "key": "k", "value": None})
+        assert request.value is None
+
+
+class TestResponseCodec:
+    def test_success_shapes_round_trip(self):
+        responses = [
+            Response.success(0, value="x"),
+            Response.success(1, results=[None, "a", 3]),
+            Response.success(2, stats={"ops": 7}),
+        ]
+        for response in responses:
+            assert Response.from_payload(response.to_payload()) == response
+
+    def test_failure_round_trip_and_raise(self):
+        failure = Response.failure(9, E_BAD_REQUEST, "nope")
+        decoded = Response.from_payload(failure.to_payload())
+        assert decoded == failure
+        with pytest.raises(ProtocolError) as excinfo:
+            decoded.raise_for_error()
+        assert excinfo.value.code == E_BAD_REQUEST
+
+    def test_unknown_failure_code_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            Response.failure(0, "E_NOPE", "x")
+
+    def test_unknown_error_code_rejected_on_decode(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            Response.from_payload({"v": 1, "id": 0, "ok": False,
+                                   "error": "E_NOPE", "message": ""})
+        assert excinfo.value.code == E_MALFORMED
+
+    def test_version_mismatch_rejected(self):
+        payload = Response.success(0, value=1).to_payload()
+        payload["v"] = 99
+        with pytest.raises(ProtocolError) as excinfo:
+            Response.from_payload(payload)
+        assert excinfo.value.code == E_VERSION
+
+    def test_ok_must_be_boolean(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            Response.from_payload({"v": 1, "id": 0, "ok": 1, "value": 2})
+        assert excinfo.value.code == E_MALFORMED
+
+
+def test_header_is_four_bytes_big_endian():
+    frame = encode_frame({"v": 1, "id": 0, "op": "STATS"})
+    assert HEADER_BYTES == 4
+    assert int.from_bytes(frame[:4], "big") == len(frame) - 4
+
+
+def test_decode_payload_matches_encode_payload():
+    payload = {"v": 1, "id": 5, "op": "PUT", "key": "k",
+               "value": {"deep": [1, 2, {"three": None}]}}
+    assert decode_payload(encode_payload(payload)) == payload

@@ -1,0 +1,141 @@
+"""ScenarioSpec: validation, serialization, shim equivalence."""
+
+import inspect
+import warnings
+
+import pytest
+
+from repro.workloads import scenarios
+from repro.workloads.engine import ScenarioEngine
+from repro.workloads.spec import (FAMILIES, ScenarioSpec, run_scenario,
+                                  scenario_families)
+
+#: smallest-footprint parameters per family, for equivalence runs.
+QUICK_PARAMS = {
+    "swsr": dict(seed=3, num_writes=2, num_reads=2),
+    "mwmr": dict(m=2, seed=3, ops_per_process=1),
+    "partition": dict(seed=3, num_writes=2, num_reads=2),
+    "kv": dict(shard_count=2, num_keys=2, rounds=1, seed=3),
+    "mobile-byz": dict(seed=3, rotations=1, num_writes=2, num_reads=2),
+    "soak": dict(seed=3, num_writes=6, num_reads=6),
+}
+
+SHIMS = {
+    "swsr": scenarios.run_swsr_scenario,
+    "mwmr": scenarios.run_mwmr_scenario,
+    "partition": scenarios.run_partition_scenario,
+    "kv": scenarios.run_kv_scenario,
+    "mobile-byz": scenarios.run_mobile_byzantine_scenario,
+    "soak": scenarios.run_soak_scenario,
+}
+
+
+class TestValidation:
+    def test_families_cover_every_shim(self):
+        assert set(FAMILIES) == set(SHIMS)
+        assert scenario_families() == tuple(sorted(FAMILIES))
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            ScenarioSpec("not-a-family")
+
+    def test_unknown_parameter_rejected_with_vocabulary(self):
+        with pytest.raises(TypeError) as excinfo:
+            ScenarioSpec("swsr", bogus_knob=1)
+        assert "bogus_knob" in str(excinfo.value)
+        assert "num_writes" in str(excinfo.value)   # valid vocab listed
+
+    @pytest.mark.parametrize("alias", ["mobile-byzantine",
+                                       "mobile_byzantine", "mobile-byz"])
+    def test_mobile_byzantine_aliases(self, alias):
+        assert ScenarioSpec(alias).family == "mobile-byz"
+
+    def test_positional_and_keyword_params_must_not_overlap(self):
+        with pytest.raises(TypeError, match="both"):
+            ScenarioSpec("swsr", {"seed": 1}, seed=2)
+
+    def test_non_string_family_rejected(self):
+        with pytest.raises(TypeError):
+            ScenarioSpec(7)
+
+
+class TestSpecValue:
+    def test_equality_and_round_trip(self):
+        spec = ScenarioSpec("swsr", seed=1, num_writes=2)
+        assert spec == ScenarioSpec("swsr", {"num_writes": 2, "seed": 1})
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_extra_keys(self):
+        with pytest.raises(ValueError, match="unexpected spec keys"):
+            ScenarioSpec.from_dict({"family": "swsr", "params": {},
+                                    "oops": 1})
+
+    def test_with_params_overlays(self):
+        base = ScenarioSpec("swsr", seed=1, num_writes=2)
+        tweaked = base.with_params(seed=9)
+        assert tweaked.params == {"seed": 9, "num_writes": 2}
+        assert base.params == {"seed": 1, "num_writes": 2}  # unchanged
+
+    def test_resolved_overlays_defaults(self):
+        spec = ScenarioSpec("swsr", seed=5)
+        resolved = spec.resolved()
+        assert resolved["seed"] == 5
+        assert resolved["n"] == 9                       # family default
+        assert set(spec.defaults()) == set(
+            inspect.signature(FAMILIES["swsr"]).parameters)
+
+
+@pytest.mark.parametrize("family", sorted(QUICK_PARAMS))
+def test_shim_and_spec_runs_are_equivalent(family):
+    """The deprecated entry point and the spec path produce the same run."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        via_shim = SHIMS[family](**QUICK_PARAMS[family]).summarize()
+    via_spec = ScenarioSpec(family, QUICK_PARAMS[family]).run().summarize()
+    assert via_shim == via_spec
+
+
+def test_shims_emit_deprecation_warning():
+    with pytest.warns(DeprecationWarning, match="run_swsr_scenario"):
+        scenarios.run_swsr_scenario(seed=1, num_writes=1, num_reads=1)
+
+
+def test_shims_expose_impl_signature():
+    for family, shim in SHIMS.items():
+        assert shim.__wrapped__ is FAMILIES[family]
+        assert "seed" in inspect.signature(shim).parameters
+
+
+def test_run_scenario_accepts_all_three_shapes():
+    params = QUICK_PARAMS["swsr"]
+    spec = ScenarioSpec("swsr", params)
+    by_name = run_scenario("swsr", **params).summarize()
+    by_spec = run_scenario(spec).summarize()
+    by_dict = run_scenario(spec.to_dict()).summarize()
+    assert by_name == by_spec == by_dict
+
+
+def test_run_scenario_spec_with_overrides():
+    spec = ScenarioSpec("swsr", seed=1, num_writes=2, num_reads=2)
+    overridden = run_scenario(spec, seed=3).summarize()
+    direct = run_scenario("swsr", seed=3, num_writes=2,
+                          num_reads=2).summarize()
+    assert overridden == direct
+
+
+def test_run_scenario_rejects_garbage():
+    with pytest.raises(TypeError, match="spec must be"):
+        run_scenario(42)
+
+
+def test_engine_run_spec_front_door():
+    params = QUICK_PARAMS["kv"]
+    via_engine = ScenarioEngine.run_spec("kv", **params).summarize()
+    via_spec = ScenarioSpec("kv", params).run().summarize()
+    assert via_engine == via_spec
+
+
+def test_spec_path_is_warning_free():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        run_scenario("swsr", seed=1, num_writes=1, num_reads=1)
