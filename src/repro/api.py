@@ -16,7 +16,12 @@ submodule layouts underneath may shift.  The surface groups into:
   verdicts;
 * **faults** — the declarative :class:`FaultTimeline`;
 * **kvstore** — :class:`StabilizingKVStore`, :class:`ShardedKVStore`
-  and the request :class:`Pipeline`;
+  and the request :class:`Pipeline`, plus the shared placement helpers
+  (:func:`partition_ops`, :func:`shard_router`);
+* **parallel** — shard-parallel execution of a single simulation
+  (:class:`ParallelScenarioRunner`, :class:`ShardExecutor`,
+  :class:`ShardPlan`), normally driven via ``run_scenario(...,
+  parallel=N)``;
 * **scenarios** — :class:`ScenarioSpec` / :func:`run_scenario` (the
   unified entry point) plus the historical per-family functions (now
   deprecation shims);
@@ -32,7 +37,10 @@ from .checkers import (History, ObservationStream, Operation,
                        is_regular, stabilization_report)
 from .faults import FaultTimeline
 from .kvstore import (Pipeline, ShardedKVStore, StabilizingKVStore,
-                      build_kv_store, build_sharded_kv_store)
+                      build_kv_store, build_sharded_kv_store,
+                      partition_ops, shard_router)
+from .parallel import (ParallelScenarioRunner, ShardExecutor, ShardOutcome,
+                       ShardPlan)
 from .registers import (BOT, Cluster, ClusterConfig, Epoch, EpochLabeling,
                         MWMRRegister, QuorumParams, SWMRRegister, WsnConfig,
                         build_mwmr, build_swmr, build_swsr_atomic,
@@ -64,7 +72,9 @@ __all__ = [
     "FaultTimeline",
     # kv store
     "Pipeline", "ShardedKVStore", "StabilizingKVStore", "build_kv_store",
-    "build_sharded_kv_store",
+    "build_sharded_kv_store", "partition_ops", "shard_router",
+    # parallel execution
+    "ParallelScenarioRunner", "ShardExecutor", "ShardOutcome", "ShardPlan",
     # scenarios
     "INITIAL", "KVScenarioResult", "ScenarioEngine", "ScenarioResult",
     "ScenarioSpec", "ScenarioSummary", "run_kv_scenario",

@@ -210,7 +210,13 @@ class FaultTimeline:
         # validate everything *before* scheduling anything: a rejected
         # timeline must not leave a partial install behind on the live
         # scheduler.
+        now = cluster.scheduler.now
         for event in self.events:
+            if event.time < now:
+                raise ValueError(
+                    f"timeline event {event.kind!r} at t={event.time} is "
+                    f"in the cluster's past (now={now}); anchor the "
+                    f"timeline (shifted()/anchor='now') before installing")
             if event.kind == "byzantine" \
                     and len(event.args.get("servers", ())) > cluster.params.t:
                 raise ValueError(

@@ -14,11 +14,12 @@ this layer sits on top of the register constructions.
 
 from .pipeline import Pipeline, PipelineHandle
 from .sharded import ShardedKVStore, build_sharded_kv_store
-from .sharding import HashRing, derive_shard_seed
+from .sharding import (HashRing, derive_shard_seed, partition_ops,
+                       shard_router)
 from .store import StabilizingKVStore, build_kv_store
 
 __all__ = [
     "HashRing", "Pipeline", "PipelineHandle", "ShardedKVStore",
     "StabilizingKVStore", "build_kv_store", "build_sharded_kv_store",
-    "derive_shard_seed",
+    "derive_shard_seed", "partition_ops", "shard_router",
 ]

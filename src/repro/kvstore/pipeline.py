@@ -41,6 +41,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..sim.errors import OperationError
 from ..sim.process import OperationHandle
+from .sharding import shard_router
 
 #: queued-but-not-yet-issued operation: (issue thunk, pipeline handle).
 _Lane = Deque[Tuple[Callable[[], OperationHandle], "PipelineHandle"]]
@@ -103,8 +104,7 @@ class Pipeline:
         self.on_complete = on_complete
         group = getattr(store, "group", None)
         self._clusters = list(group) if group is not None else [store.cluster]
-        self._shard_for = (store.shard_for if group is not None
-                           else lambda key: 0)
+        self._shard_for = shard_router(store)
         self._lanes: Dict[Tuple[int, str], _Lane] = {}
         self._in_flight: Dict[Tuple[int, str], bool] = {}
         self._outstanding: List[int] = [0] * len(self._clusters)

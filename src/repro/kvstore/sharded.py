@@ -36,7 +36,7 @@ from ..registers.bounded_seq import WsnConfig
 from ..registers.mwmr import DEFAULT_SEQ_BOUND
 from ..registers.system import Cluster, ClusterConfig, ClusterGroup
 from ..sim.process import OperationHandle
-from .sharding import HashRing, derive_shard_seed
+from .sharding import HashRing, derive_shard_seed, partition_ops
 from .store import StabilizingKVStore
 
 
@@ -120,10 +120,8 @@ class ShardedKVStore:
 
         ``max_events`` is a per-shard budget, as in ``Cluster.run_ops``.
         """
-        by_shard: Dict[int, List[OperationHandle]] = {}
-        for handle in handles:
-            by_shard.setdefault(handle.meta.get("shard", 0),
-                                []).append(handle)
+        by_shard = partition_ops(handles,
+                                 lambda handle: handle.meta.get("shard", 0))
         for shard in sorted(by_shard):
             self.group[shard].run_ops(by_shard[shard],
                                       max_events=max_events)

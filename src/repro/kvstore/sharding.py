@@ -32,7 +32,9 @@ from __future__ import annotations
 import bisect
 import hashlib
 import json
-from typing import List, Tuple
+from typing import Callable, Dict, Iterable, List, Tuple, TypeVar
+
+_T = TypeVar("_T")
 
 #: ring salt: namespaces the key hash so a key's ring position is not the
 #: same value as any other sha256 use of the key elsewhere in the library.
@@ -84,3 +86,32 @@ class HashRing:
 
     def __len__(self) -> int:
         return self.shard_count
+
+
+def partition_ops(items: Iterable[_T],
+                  shard_of: Callable[[_T], int]) -> Dict[int, List[_T]]:
+    """Group ``items`` by shard, preserving order within each shard.
+
+    The one key→shard partitioning routine every execution path shares —
+    ``ShardedKVStore.run_ops``, the pipelined drain, and the parallel
+    engine's ``ShardPlan`` slicing all route through here, so the serial
+    and parallel notions of "which shard owns this operation" cannot
+    drift apart.
+    """
+    by_shard: Dict[int, List[_T]] = {}
+    for item in items:
+        by_shard.setdefault(shard_of(item), []).append(item)
+    return by_shard
+
+
+def shard_router(store) -> Callable[[str], int]:
+    """Key→shard routing function for ``store``.
+
+    A sharded store routes through its ring; a single-pool store is one
+    shard, so everything maps to index 0.  (The pipeline and the parallel
+    planner both use this, keeping the "single pool behaves as one shard"
+    convention in exactly one place.)
+    """
+    if getattr(store, "group", None) is not None:
+        return store.shard_for
+    return lambda key: 0

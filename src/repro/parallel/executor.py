@@ -1,0 +1,241 @@
+"""Shard executors: run one shard's event loop to completion.
+
+A :class:`ShardExecutor` consumes one :class:`~repro.parallel.plan
+.ShardPlan` and replays that shard's sub-simulation — the same cluster
+construction, operation issue order, fault anchoring and event budgets as
+the serial scenario path, restricted to one shard.  Because shards share
+no scheduler, network, RNG or fault envelope, the restriction is exact:
+the worker's cluster evolves byte-identically to the corresponding shard
+of the serial run.
+
+What comes back is a :class:`ShardOutcome` — compact, picklable: the
+completion-ordered :class:`~repro.checkers.history.Operation` records of
+every stage, per-stage counter snapshots (taken both after enqueue and
+after the drain, so the merge step can reconstruct the serial run's exact
+stopping point when a budget exhausts mid-batch), the shard's τ and
+corruption count from the fault phase, and per-stage success flags.
+
+``execute_shard_plan`` is the module-level worker entry point
+(``ProcessPoolExecutor.map``-able under fork *and* spawn);
+:meth:`ShardExecutor.advance` exposes the same execution one stage at a
+time for the in-process round-robin fallback (``parallel="interleave"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..checkers.history import Operation, operation_from_handle
+from ..faults.transient import TransientFaultInjector
+from ..kvstore.pipeline import Pipeline
+from ..kvstore.store import StabilizingKVStore
+from ..registers.system import Cluster, ClusterConfig
+from ..sim.errors import SimulationLimitReached
+from .plan import ShardPlan, timeline_from_plan
+
+#: (messages_sent, events_processed, now) — a shard counter snapshot.
+Counters = Tuple[int, int, float]
+
+
+@dataclass
+class ShardOutcome:
+    """Everything a worker ships back about one shard's execution."""
+
+    shard_index: int
+    family: str
+    stages: Tuple[str, ...]
+    #: stage -> "ok" | "failed" | "skipped" (after this shard's failure).
+    status: Dict[str, str] = field(default_factory=dict)
+    #: stage -> completion-ordered operation records (partial when the
+    #: stage failed mid-drain — exactly the completions the serial run
+    #: would have observed before the budget exhausted).
+    records: Dict[str, List[Operation]] = field(default_factory=dict)
+    #: stage -> counters after enqueue, before the drain: the state the
+    #: serial run leaves this shard in when an *earlier* shard's drain
+    #: fails the batch first.
+    pre_counters: Dict[str, Counters] = field(default_factory=dict)
+    #: stage -> counters after the drain (or at the budget exception).
+    post_counters: Dict[str, Counters] = field(default_factory=dict)
+    tau_local: float = 0.0
+    corruptions: int = 0
+    completed: bool = True
+
+    def first_failed_stage(self) -> Optional[str]:
+        for stage in self.stages:
+            if self.status.get(stage) == "failed":
+                return stage
+        return None
+
+
+class _Recorder:
+    """An :class:`~repro.checkers.online.OnlineChecker`-shaped tap that
+    collects operations in completion order (the soak worker's stream
+    observer)."""
+
+    def __init__(self):
+        self.ops: List[Operation] = []
+
+    def observe(self, op: Operation) -> None:
+        self.ops.append(op)
+
+    def finish(self) -> None:
+        pass
+
+
+class ShardExecutor:
+    """Stage-stepped execution of one :class:`ShardPlan`.
+
+    ``run()`` drives every stage (the worker-process entry);
+    ``advance()`` runs exactly one stage and returns whether more remain
+    (the interleave fallback round-robins this across shards).
+    """
+
+    def __init__(self, plan: ShardPlan):
+        self.plan = plan
+        self.outcome = ShardOutcome(shard_index=plan.shard_index,
+                                    family=plan.family,
+                                    stages=tuple(plan.stage_names()))
+        self._next_stage = 0
+        self._failed = False
+        self._ready = False
+        # lazily-built simulation state (per family)
+        self._cluster: Optional[Cluster] = None
+        self._store: Optional[StabilizingKVStore] = None
+        self._pipe: Optional[Pipeline] = None
+        self._injector: Optional[TransientFaultInjector] = None
+        self._stage_records: List[Operation] = []
+        self._batch_cursor = 0
+
+    # -- shared plumbing ---------------------------------------------------
+    def _counters(self) -> Counters:
+        cluster = self._cluster
+        return (cluster.network.messages_sent,
+                cluster.scheduler.events_processed,
+                cluster.scheduler.now)
+
+    def _observe(self, handle) -> None:
+        op = operation_from_handle(handle)
+        if op is not None:
+            self._stage_records.append(op)
+
+    def _setup_kv(self) -> None:
+        plan = self.plan
+        params = plan.params
+        # the exact construction ShardedKVStore performs for this shard
+        # index, minus the S-1 sibling pools.
+        self._cluster = Cluster(ClusterConfig(
+            n=params["n"], t=params["t"], seed=plan.seed,
+            trace_backend=params["trace_backend"],
+            enforce_resilience=params["enforce_resilience"]))
+        self._store = StabilizingKVStore(self._cluster,
+                                         client_count=params["client_count"])
+        from ..workloads.scenarios import _install_byzantine
+        _install_byzantine(self._cluster, None, params["byzantine_count"],
+                           params["byzantine_strategy"])
+        self._pipe = Pipeline(self._store, on_complete=self._observe)
+        self._ready = True
+
+    # -- kv stages ---------------------------------------------------------
+    def _run_kv_batch(self, stage: str) -> bool:
+        plan, outcome = self.plan, self.outcome
+        ops = plan.op_batches[self._batch_cursor]
+        self._batch_cursor += 1
+        records: List[Operation] = []
+        self._stage_records = records
+        outcome.records[stage] = records
+        pipe = self._pipe
+        try:
+            for kind, client, key, value in ops:
+                if kind == "put":
+                    pipe.put(client, key, value)
+                else:
+                    pipe.get(client, key)
+            # serial equivalence point: when an earlier shard's drain
+            # fails this batch, the serial run leaves this shard enqueued
+            # but undrained — snapshot that state before flushing.
+            outcome.pre_counters[stage] = self._counters()
+            pipe.flush(max_events=plan.params["max_events"])
+        except SimulationLimitReached:
+            pipe.issued.clear()
+            outcome.post_counters[stage] = self._counters()
+            return False
+        outcome.post_counters[stage] = self._counters()
+        return True
+
+    def _run_kv_faults(self) -> bool:
+        plan, outcome = self.plan, self.outcome
+        cluster = self._cluster
+        injector = TransientFaultInjector.for_cluster(cluster)
+        self._injector = injector
+        anchor = cluster.scheduler.now
+        tau_local = anchor
+        for time, fraction in zip(plan.params["corruption_times"],
+                                  plan.params["corruption_fractions"]):
+            injector.at(anchor + time,
+                        lambda cluster=cluster, fraction=fraction,
+                        injector=injector: injector.corrupt_all(
+                            cluster.servers, fraction))
+            tau_local = max(tau_local, anchor + time)
+        timeline = timeline_from_plan(plan)
+        if timeline is not None:
+            installed = timeline.shifted(anchor)
+            installed.install(cluster, injector)
+            tau_local = max(tau_local, installed.tau_no_tr)
+        outcome.pre_counters["faults"] = self._counters()
+        cluster.run(until=tau_local + 1.0)
+        outcome.post_counters["faults"] = self._counters()
+        outcome.tau_local = tau_local
+        outcome.corruptions = injector.corruptions
+        return True
+
+    # -- soak stage --------------------------------------------------------
+    def _run_soak(self) -> bool:
+        from ..workloads.scenarios import _soak_simulation
+        recorder = _Recorder()
+        outcome = self.outcome
+        outcome.pre_counters["run"] = (0, 0, 0.0)
+        shard = _soak_simulation(seed=self.plan.seed, engine_mode=None,
+                                 extra_checkers=(recorder,),
+                                 **self.plan.params)
+        self._cluster = shard.cluster
+        outcome.records["run"] = recorder.ops
+        outcome.post_counters["run"] = self._counters()
+        outcome.tau_local = shard.tau_report
+        outcome.corruptions = shard.injector.corruptions
+        return shard.completed
+
+    # -- driving -----------------------------------------------------------
+    def advance(self) -> bool:
+        """Run the next stage; returns ``True`` while stages remain."""
+        if self._next_stage >= len(self.outcome.stages):
+            return False
+        stage = self.outcome.stages[self._next_stage]
+        self._next_stage += 1
+        if self._failed:
+            self.outcome.status[stage] = "skipped"
+        else:
+            if not self._ready and self.plan.family == "kv":
+                self._setup_kv()
+            if self.plan.family == "soak":
+                ok = self._run_soak()
+            elif stage == "faults":
+                ok = self._run_kv_faults()
+            else:
+                ok = self._run_kv_batch(stage)
+            self.outcome.status[stage] = "ok" if ok else "failed"
+            if not ok:
+                self._failed = True
+                self.outcome.completed = False
+        return self._next_stage < len(self.outcome.stages)
+
+    def run(self) -> ShardOutcome:
+        """Run every stage to completion and return the outcome."""
+        while self.advance():
+            pass
+        return self.outcome
+
+
+def execute_shard_plan(plan: ShardPlan) -> ShardOutcome:
+    """Worker-process entry point: one plan in, one outcome out."""
+    return ShardExecutor(plan).run()

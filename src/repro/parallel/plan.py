@@ -1,0 +1,179 @@
+"""Shard plans: the picklable unit of work of the parallel engine.
+
+A :class:`ShardPlan` is everything one worker process needs to replay a
+single shard of a scenario — topology knobs, the shard's hash-derived
+seed, its (already re-anchorable) fault timeline, and the shard-local
+slice of the concrete operation schedule.  Plans are built **once**, in
+the parent, from the same primitives the serial path uses
+(:class:`~repro.kvstore.sharding.HashRing` placement via
+:func:`~repro.kvstore.sharding.partition_ops`,
+:func:`~repro.kvstore.sharding.derive_shard_seed` seeds, the shared
+:class:`~repro.workloads.generators.ValueStream` draw order), which is
+what makes the parallel execution *serial-equivalent*: a worker's
+sub-simulation is byte-identical to the corresponding shard of the serial
+run, because both are the same deterministic function of the same plan.
+
+Plans hold plain data only (strings, numbers, tuples, dicts) so they
+pickle under any multiprocessing start method, including ``spawn``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..faults.schedule import FaultTimeline
+from ..kvstore.sharding import HashRing, derive_shard_seed, partition_ops
+from ..workloads.generators import ValueStream
+
+#: one concrete KV operation: ``(kind, client, key, value-or-None)``.
+KVOp = Tuple[str, str, str, Optional[Any]]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's complete, self-contained work description.
+
+    * ``family`` — ``"kv"`` or ``"soak"`` (the shard-structured families);
+    * ``seed`` — the shard's simulation seed, already hash-derived from
+      the scenario seed (``derive_shard_seed``), never the raw seed;
+    * ``params`` — plain-data keyword arguments of the family's per-shard
+      execution (topology, budgets, fault knobs);
+    * ``op_batches`` — for ``kv``: the shard-local slice of each global
+      batch (create, then put/get per round), with values pre-drawn in
+      global enumeration order;
+    * ``run_faults`` / ``timeline`` — for ``kv``: whether the global
+      fault phase executes, and this shard's declarative timeline (dict
+      form, times relative to the shard clock — the executor re-anchors
+      it to the shard's post-create instant, exactly as
+      ``ShardedKVStore.install_timeline(..., anchor=now)`` would).
+    """
+
+    family: str
+    shard_index: int
+    shard_count: int
+    seed: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    op_batches: Tuple[Tuple[KVOp, ...], ...] = ()
+    run_faults: bool = False
+    timeline: Optional[Dict[str, Any]] = None
+
+    def stage_names(self) -> List[str]:
+        """The ordered stage vocabulary this plan's executor steps through.
+
+        Stages are the cross-shard synchronization points of the serial
+        run (batch barriers); the merge logic aligns worker outcomes on
+        them.  Every shard of one scenario shares the same list.
+        """
+        if self.family == "soak":
+            return ["run"]
+        stages = ["create"]
+        if self.run_faults:
+            stages.append("faults")
+        for round_index in range(int(self.params.get("rounds", 1))):
+            stages.append(f"put{round_index}")
+            stages.append(f"get{round_index}")
+        return stages
+
+
+def kv_op_batches(num_keys: int, rounds: int, clients: List[str]
+                  ) -> Tuple[List[str], List[List[KVOp]]]:
+    """The kv family's global batch schedule, values pre-drawn in order.
+
+    Mirrors ``_run_kv_scenario`` exactly: a create batch (round-robin
+    clients), then per round a put batch and a get batch with the same
+    client rotation.  ``ValueStream`` is a pure counter, so drawing every
+    value eagerly here yields the same values the serial path draws
+    lazily — for every operation that actually executes.
+    """
+    keys = [f"k{index}" for index in range(num_keys)]
+    values = ValueStream()
+    batches: List[List[KVOp]] = [
+        [("put", clients[index % len(clients)], key, values.next())
+         for index, key in enumerate(keys)]]
+    for round_index in range(rounds):
+        batches.append(
+            [("put", clients[(round_index + index) % len(clients)], key,
+              values.next())
+             for index, key in enumerate(keys)])
+        batches.append(
+            [("get", clients[(round_index + index + 1) % len(clients)], key,
+              None)
+             for index, key in enumerate(keys)])
+    return keys, batches
+
+
+def kv_shard_plans(shard_count: int, n: int, t: int, seed: int,
+                   client_count: int, num_keys: int, rounds: int,
+                   byzantine_count: int, byzantine_strategy: str,
+                   corruption_times, corruption_fraction,
+                   fault_timelines, trace_backend, enforce_resilience: bool,
+                   max_events: int
+                   ) -> Tuple[List[ShardPlan], List[str], HashRing]:
+    """Slice one kv scenario into per-shard plans.
+
+    Returns ``(plans, keys, ring)`` — the ring is the same placement the
+    serial ``ShardedKVStore`` builds, so the merge step can seal each key
+    against its own shard's τ.
+    """
+    from ..workloads.scenarios import _as_timeline, _burst_fractions
+
+    ring = HashRing(shard_count)
+    clients = [f"c{index + 1}" for index in range(client_count)]
+    keys, batches = kv_op_batches(num_keys, rounds, clients)
+    slices = [partition_ops(batch, lambda op: ring.shard_for(op[2]))
+              for batch in batches]
+
+    times = [float(time) for time in corruption_times]
+    fractions = _burst_fractions(times, corruption_fraction)
+    timelines = {int(shard): _as_timeline(timeline).to_dict()
+                 for shard, timeline in (fault_timelines or {}).items()}
+    out_of_range = sorted(shard for shard in timelines
+                          if not 0 <= shard < shard_count)
+    if out_of_range:
+        raise ValueError(
+            f"fault_timelines reference shards {out_of_range} but the "
+            f"store has {shard_count} shard(s); a silently dropped "
+            "timeline would fake a fault-free verdict")
+    run_faults = bool(times or timelines)
+
+    params = {
+        "n": n, "t": t, "client_count": client_count,
+        "byzantine_count": byzantine_count,
+        "byzantine_strategy": byzantine_strategy,
+        "corruption_times": tuple(times),
+        "corruption_fractions": tuple(fractions),
+        "trace_backend": trace_backend,
+        "enforce_resilience": enforce_resilience,
+        "max_events": max_events, "rounds": rounds,
+    }
+    return [ShardPlan(
+        family="kv", shard_index=shard, shard_count=shard_count,
+        seed=derive_shard_seed(seed, shard), params=dict(params),
+        op_batches=tuple(tuple(batch.get(shard, []))
+                         for batch in slices),
+        run_faults=run_faults,
+        timeline=timelines.get(shard),
+    ) for shard in range(shard_count)], keys, ring
+
+
+def soak_shard_plans(shards: int, seed: int,
+                     params: Dict[str, Any]) -> List[ShardPlan]:
+    """Slice a soak scenario into ``shards`` independent sub-soaks.
+
+    A single shard keeps the scenario seed untouched (``shards=1`` must
+    be indistinguishable from the legacy single-cluster run); multiple
+    shards derive per-shard seeds the same way the sharded KV store does.
+    """
+    seeds = ([seed] if shards == 1 else
+             [derive_shard_seed(seed, index) for index in range(shards)])
+    return [ShardPlan(family="soak", shard_index=index, shard_count=shards,
+                      seed=shard_seed, params=dict(params))
+            for index, shard_seed in enumerate(seeds)]
+
+
+def timeline_from_plan(plan: ShardPlan) -> Optional[FaultTimeline]:
+    """The plan's declarative timeline, deserialized (``None`` if absent)."""
+    if plan.timeline is None:
+        return None
+    return FaultTimeline.from_dict(plan.timeline)

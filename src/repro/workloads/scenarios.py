@@ -603,7 +603,9 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
                     fault_timelines: Optional[Dict[Any, Any]] = None,
                     trace_backend: Optional[str] = "null",
                     enforce_resilience: bool = True,
-                    max_events: int = 6_000_000) -> KVScenarioResult:
+                    max_events: int = 6_000_000,
+                    parallel: Optional[Union[int, str]] = None
+                    ) -> KVScenarioResult:
     """Drive a sharded KV workload end to end (the ``kv`` runner family).
 
     Three phases, all deterministic:
@@ -633,6 +635,11 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
     at its own shard's τ, segments collapsed at the batch barriers) — see
     :class:`KVScenarioResult`.
 
+    ``parallel`` runs the shards in worker processes (a count) or
+    round-robin in-process (``"interleave"``) via :mod:`repro.parallel`,
+    with the merged result asserted equal to this serial path — digest,
+    verdicts and summary alike.  Requires ``pipelined=True``.
+
     Liveness caveat, inherited from the MWMR construction: a burst that
     corrupts *every* server copy of some per-key register livelocks the
     scan until the register's owner rewrites it (see the
@@ -649,6 +656,22 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
     """
     if rounds < 1:
         raise ValueError("need at least one workload round")
+    if parallel is not None:
+        if not pipelined:
+            raise ValueError(
+                "parallel kv execution requires pipelined=True (the "
+                "serial completion order the merge reconstructs is the "
+                "pipelined per-batch drain)")
+        from ..parallel.runner import run_parallel_kv
+        return run_parallel_kv(
+            parallel=parallel, shard_count=shard_count, n=n, t=t,
+            seed=seed, client_count=client_count, num_keys=num_keys,
+            rounds=rounds, byzantine_count=byzantine_count,
+            byzantine_strategy=byzantine_strategy,
+            corruption_times=corruption_times,
+            corruption_fraction=corruption_fraction,
+            fault_timelines=fault_timelines, trace_backend=trace_backend,
+            enforce_resilience=enforce_resilience, max_events=max_events)
     store = ShardedKVStore(
         shard_count=shard_count, n=n, t=t, seed=seed,
         client_count=client_count, trace_backend=trace_backend,
@@ -834,55 +857,60 @@ def run_mobile_byzantine_scenario(kind: str = "regular", n: int = 9,
                         tau_report, timeline=timeline)
 
 
-def run_soak_scenario(kind: str = "regular", n: int = 9, t: int = 1,
-                      seed: int = 0, transport: str = "direct",
-                      num_writes: int = 500, num_reads: int = 500,
-                      op_gap: float = 4.0,
-                      reader_offset: Optional[float] = None,
-                      fault_bursts: int = 3, fault_period: float = 5.0,
-                      corruption_fraction: Union[float,
-                                                 Sequence[float]] = 0.3,
-                      rotations: int = 0,
-                      rotation_gap: Optional[float] = None,
-                      rotation_size: Optional[int] = None,
-                      rotation_strategy: str = "random-garbage",
-                      byzantine_count: int = 0,
-                      byzantine_strategy: str = "random-garbage",
-                      initial: Any = INITIAL,
-                      enforce_resilience: bool = True,
-                      max_events: int = 100_000_000,
-                      trace_backend: str = "null",
-                      keep_history: bool = False,
-                      write_window: int = 64, read_window: int = 64,
-                      max_records: int = 64, candidate_cap: int = 4096,
-                      chunk_ops: int = 256) -> ScenarioResult:
-    """Long-horizon SWSR soak: N× longer workloads at bounded peak memory.
+@dataclass
+class _SoakRun:
+    """One soak sub-simulation's live state (see :func:`_soak_simulation`).
 
-    The memory-bounded member of the SWSR-shaped family: a periodic
-    transient-burst prelude (``fault_bursts`` bursts, ``fault_period``
-    apart, servers only — the atomic-safe envelope), optional mobile
-    Byzantine rotations straddling the workload, then ``num_writes`` +
-    ``num_reads`` alternating operations.  Three things bound memory by
-    the *configuration*, not the run length:
+    The legacy single-cluster path assembles a :class:`ScenarioResult`
+    from it; the parallel shard executor ships only the plain-data parts
+    back (records via an extra stream checker, counters and τ read off
+    ``cluster`` / ``tau_report``).
+    """
 
-    * the engine retains no history (``keep_history=False``) — counters,
-      digest and the stabilization verdict stream off the observation
-      pipeline;
-    * the online checkers run windowed (``write_window`` /
-      ``read_window`` / ``max_records`` / ``candidate_cap``) —
-      sound verdicts, with :attr:`~repro.checkers.online
-      .OnlineTauTracker.exact` flagging any window overrun;
-    * operations are scheduled in ``chunk_ops``-sized slices, so the
-      event heap holds one chunk, not the whole workload.
+    cluster: Cluster
+    writer: Any
+    reader: Any
+    injector: TransientFaultInjector
+    engine: ScenarioEngine
+    completed: bool
+    tau_report: float
+    timeline: Optional[FaultTimeline]
 
-    ``benchmarks/test_bench_checkers.py`` gates the payoff: a soak run
-    ≥ 10× the biggest smoke-workload op count completing under a hard
-    peak-memory budget (``BENCH_checkers.json``).
 
-    >>> result = run_soak_scenario(seed=1, num_writes=8, num_reads=8,
-    ...                            fault_bursts=1)
-    >>> result.completed, result.summarize().stable, result.history is None
-    (True, True, True)
+def _soak_simulation(kind: str = "regular", n: int = 9, t: int = 1,
+                     seed: int = 0, transport: str = "direct",
+                     num_writes: int = 500, num_reads: int = 500,
+                     op_gap: float = 4.0,
+                     reader_offset: Optional[float] = None,
+                     fault_bursts: int = 3, fault_period: float = 5.0,
+                     corruption_fraction: Union[float,
+                                                Sequence[float]] = 0.3,
+                     rotations: int = 0,
+                     rotation_gap: Optional[float] = None,
+                     rotation_size: Optional[int] = None,
+                     rotation_strategy: str = "random-garbage",
+                     byzantine_count: int = 0,
+                     byzantine_strategy: str = "random-garbage",
+                     initial: Any = INITIAL,
+                     enforce_resilience: bool = True,
+                     max_events: int = 100_000_000,
+                     trace_backend: str = "null",
+                     keep_history: bool = False,
+                     write_window: int = 64, read_window: int = 64,
+                     max_records: int = 64, candidate_cap: int = 4096,
+                     chunk_ops: int = 256, *,
+                     engine_mode: Optional[str] = "auto",
+                     extra_checkers: Sequence[Any] = ()) -> _SoakRun:
+    """One complete soak sub-simulation (cluster + faults + workload).
+
+    The body of :func:`run_soak_scenario`, factored so the parallel
+    shard executor (:mod:`repro.parallel`) can run exactly this —
+    byte-identical cluster construction, fault schedule and chunked
+    driving loop — inside a worker process.  ``engine_mode="auto"``
+    derives the τ-tracker mode from ``kind`` (the legacy in-process
+    path); ``None`` attaches no tracker (workers ship raw operation
+    records back through ``extra_checkers`` and the parent re-runs the
+    tracker on the merged stream side).
     """
     cluster, writer, reader = _build_swsr_cluster(
         kind, n, t, seed, transport, enforce_resilience,
@@ -911,14 +939,17 @@ def run_soak_scenario(kind: str = "regular", n: int = 9, t: int = 1,
             tau_report = max(tau_report, time)
         timeline.install(cluster, injector)
 
-    engine = _swsr_engine(cluster, kind, initial,
-                          keep_history=keep_history,
-                          write_window=write_window,
-                          read_window=read_window,
-                          max_records=max_records,
-                          candidate_cap=candidate_cap,
-                          tau_hint=tau_report,
-                          retain_handles=keep_history)
+    mode = (("atomic" if kind == "atomic" else "regular")
+            if engine_mode == "auto" else engine_mode)
+    engine = ScenarioEngine(cluster, mode=mode, initial=initial,
+                            keep_history=keep_history,
+                            write_window=write_window,
+                            read_window=read_window,
+                            max_records=max_records,
+                            candidate_cap=candidate_cap,
+                            tau_hint=tau_report,
+                            retain_handles=keep_history,
+                            checkers=extra_checkers)
     writer_driver = engine.driver(writer)
     reader_driver = engine.driver(reader)
     values = ValueStream()
@@ -944,8 +975,111 @@ def run_soak_scenario(kind: str = "regular", n: int = 9, t: int = 1,
         spent = cluster.scheduler.events_processed - start_events
         completed = engine.step(max_events - spent)
     engine.stream.close()
-    return _swsr_result(engine, writer, reader, injector, completed,
-                        tau_report, timeline=timeline,
+    return _SoakRun(cluster=cluster, writer=writer, reader=reader,
+                    injector=injector, engine=engine, completed=completed,
+                    tau_report=tau_report, timeline=timeline)
+
+
+def run_soak_scenario(kind: str = "regular", n: int = 9, t: int = 1,
+                      seed: int = 0, transport: str = "direct",
+                      num_writes: int = 500, num_reads: int = 500,
+                      op_gap: float = 4.0,
+                      reader_offset: Optional[float] = None,
+                      fault_bursts: int = 3, fault_period: float = 5.0,
+                      corruption_fraction: Union[float,
+                                                 Sequence[float]] = 0.3,
+                      rotations: int = 0,
+                      rotation_gap: Optional[float] = None,
+                      rotation_size: Optional[int] = None,
+                      rotation_strategy: str = "random-garbage",
+                      byzantine_count: int = 0,
+                      byzantine_strategy: str = "random-garbage",
+                      initial: Any = INITIAL,
+                      enforce_resilience: bool = True,
+                      max_events: int = 100_000_000,
+                      trace_backend: str = "null",
+                      keep_history: bool = False,
+                      write_window: int = 64, read_window: int = 64,
+                      max_records: int = 64, candidate_cap: int = 4096,
+                      chunk_ops: int = 256, shards: int = 1,
+                      parallel: Optional[Union[int, str]] = None):
+    """Long-horizon SWSR soak: N× longer workloads at bounded peak memory.
+
+    The memory-bounded member of the SWSR-shaped family: a periodic
+    transient-burst prelude (``fault_bursts`` bursts, ``fault_period``
+    apart, servers only — the atomic-safe envelope), optional mobile
+    Byzantine rotations straddling the workload, then ``num_writes`` +
+    ``num_reads`` alternating operations.  Three things bound memory by
+    the *configuration*, not the run length:
+
+    * the engine retains no history (``keep_history=False``) — counters,
+      digest and the stabilization verdict stream off the observation
+      pipeline;
+    * the online checkers run windowed (``write_window`` /
+      ``read_window`` / ``max_records`` / ``candidate_cap``) —
+      sound verdicts, with :attr:`~repro.checkers.online
+      .OnlineTauTracker.exact` flagging any window overrun;
+    * operations are scheduled in ``chunk_ops``-sized slices, so the
+      event heap holds one chunk, not the whole workload.
+
+    ``benchmarks/test_bench_checkers.py`` gates the payoff: a soak run
+    ≥ 10× the biggest smoke-workload op count completing under a hard
+    peak-memory budget (``BENCH_checkers.json``).
+
+    ``shards`` > 1 runs that many *independent* sub-soaks (hash-derived
+    per-shard seeds) and merges their verdicts; ``parallel`` picks the
+    execution mode for them — a worker-process count, or
+    ``"interleave"`` for the same-process round-robin fallback.
+    ``shards=1, parallel=1`` (or ``"interleave"``) routes through the
+    same plan/executor/merge machinery and is asserted equal to the
+    legacy in-process run, field for field (see
+    ``tests/test_parallel_sim.py``).
+
+    >>> result = run_soak_scenario(seed=1, num_writes=8, num_reads=8,
+    ...                            fault_bursts=1)
+    >>> result.completed, result.summarize().stable, result.history is None
+    (True, True, True)
+    """
+    if shards < 1:
+        raise ValueError("need at least one soak shard")
+    if shards != 1 or parallel is not None:
+        from ..parallel.runner import run_parallel_soak
+        return run_parallel_soak(
+            shards=shards, parallel=parallel, seed=seed,
+            params=dict(
+                kind=kind, n=n, t=t, transport=transport,
+                num_writes=num_writes, num_reads=num_reads, op_gap=op_gap,
+                reader_offset=reader_offset, fault_bursts=fault_bursts,
+                fault_period=fault_period,
+                corruption_fraction=corruption_fraction,
+                rotations=rotations, rotation_gap=rotation_gap,
+                rotation_size=rotation_size,
+                rotation_strategy=rotation_strategy,
+                byzantine_count=byzantine_count,
+                byzantine_strategy=byzantine_strategy, initial=initial,
+                enforce_resilience=enforce_resilience,
+                max_events=max_events, trace_backend=trace_backend,
+                keep_history=keep_history, write_window=write_window,
+                read_window=read_window, max_records=max_records,
+                candidate_cap=candidate_cap, chunk_ops=chunk_ops))
+    run = _soak_simulation(
+        kind=kind, n=n, t=t, seed=seed, transport=transport,
+        num_writes=num_writes, num_reads=num_reads, op_gap=op_gap,
+        reader_offset=reader_offset, fault_bursts=fault_bursts,
+        fault_period=fault_period,
+        corruption_fraction=corruption_fraction, rotations=rotations,
+        rotation_gap=rotation_gap, rotation_size=rotation_size,
+        rotation_strategy=rotation_strategy,
+        byzantine_count=byzantine_count,
+        byzantine_strategy=byzantine_strategy, initial=initial,
+        enforce_resilience=enforce_resilience, max_events=max_events,
+        trace_backend=trace_backend, keep_history=keep_history,
+        write_window=write_window, read_window=read_window,
+        max_records=max_records, candidate_cap=candidate_cap,
+        chunk_ops=chunk_ops)
+    return _swsr_result(run.engine, run.writer, run.reader, run.injector,
+                        run.completed, run.tau_report,
+                        timeline=run.timeline,
                         soak={"num_writes": num_writes,
                               "num_reads": num_reads,
                               "chunk_ops": chunk_ops,

@@ -18,7 +18,8 @@ def workflow():
 
 def test_workflow_parses_and_has_jobs(workflow):
     assert set(workflow["jobs"]) == {"lint", "test", "perf-smoke",
-                                     "fuzz-smoke", "service-smoke", "docs"}
+                                     "parallel-sim", "fuzz-smoke",
+                                     "service-smoke", "docs"}
     # "on" parses as YAML true; accept either spelling
     assert True in workflow or "on" in workflow
 
@@ -67,6 +68,26 @@ def test_perf_smoke_job_gates_streaming_checkers(workflow):
     uploads = [step for step in steps
                if "upload-artifact" in step.get("uses", "")]
     assert "BENCH_checkers.json" in uploads[0]["with"]["path"]
+
+
+def test_parallel_sim_job_gates_speedup_and_digest_equality(workflow):
+    steps = workflow["jobs"]["parallel-sim"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    # the bench runs with the wall-clock speedup gate armed ...
+    assert "benchmarks/test_bench_parallel_sim.py" in runs
+    gate_envs = [step.get("env", {}).get("REPRO_PERF_GATE")
+                 for step in steps
+                 if "test_bench_parallel_sim" in step.get("run", "")]
+    assert gate_envs == ["1"]
+    # ... the 1-vs-4-worker digest-equality guard compares summaries ...
+    assert "parallel=1" in runs and "parallel=4" in runs
+    assert "history_digest" in runs
+    # ... and the bench artifact is archived (also on failure).
+    uploads = [step for step in steps
+               if "upload-artifact" in step.get("uses", "")]
+    assert uploads, "parallel-sim bench upload step missing"
+    assert uploads[0]["if"] == "always()"
+    assert "BENCH_parallel_sim.json" in uploads[0]["with"]["path"]
 
 
 def test_fuzz_smoke_job_gates_guards_and_uploads(workflow):

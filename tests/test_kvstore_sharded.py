@@ -4,7 +4,8 @@ import pytest
 
 from repro.faults.schedule import FaultTimeline
 from repro.kvstore import (HashRing, Pipeline, build_kv_store,
-                           build_sharded_kv_store, derive_shard_seed)
+                           build_sharded_kv_store, derive_shard_seed,
+                           partition_ops, shard_router)
 from repro.registers.system import ClusterConfig, ClusterGroup
 from repro.sim.errors import OperationError
 
@@ -47,6 +48,45 @@ class TestShardSeeds:
         store = build_sharded_kv_store(shard_count=3, seed=5)
         assert [cluster.config.seed for cluster in store.group] == \
             [derive_shard_seed(5, shard) for shard in range(3)]
+
+
+class TestPartitioning:
+    def test_partition_ops_groups_and_preserves_order(self):
+        items = ["a0", "b0", "a1", "c0", "a2", "b1"]
+        parts = partition_ops(items, lambda item: ord(item[0]) - ord("a"))
+        assert parts == {0: ["a0", "a1", "a2"], 1: ["b0", "b1"], 2: ["c0"]}
+
+    def test_partition_ops_empty(self):
+        assert partition_ops([], lambda item: 0) == {}
+
+    def test_shard_router_uses_ring_for_sharded_store(self):
+        store = build_sharded_kv_store(shard_count=4, seed=3)
+        route = shard_router(store)
+        for index in range(32):
+            key = f"key{index}"
+            assert route(key) == store.shard_for(key)
+
+    def test_shard_router_maps_single_pool_to_shard_zero(self):
+        store = build_kv_store(seed=3)
+        route = shard_router(store)
+        assert [route(f"key{index}") for index in range(8)] == [0] * 8
+
+    def test_run_ops_and_pipeline_agree_on_placement(self):
+        """The serial ``run_ops`` grouping and the pipeline's routing are
+        the same partition — both go through the shared helpers."""
+        store = build_sharded_kv_store(shard_count=3, seed=7)
+        handles = []
+        for index in range(12):            # one at a time: clients are
+            handle = store.put("c1", f"key{index}", index)   # sequential
+            store.run_ops([handle])
+            handles.append(handle)
+        by_shard = partition_ops(
+            handles, lambda handle: handle.meta.get("shard", 0))
+        route = shard_router(store)
+        for shard, members in by_shard.items():
+            assert all(route(handle.meta["register"][3:]) == shard
+                       for handle in members)
+        assert all(handle.done for handle in handles)
 
 
 class TestClusterGroup:
@@ -117,6 +157,66 @@ class TestShardedKVStore:
     def test_rejects_zero_shards(self):
         with pytest.raises(ValueError):
             build_sharded_kv_store(shard_count=0)
+
+
+class TestInstallTimelineAnchoring:
+    @staticmethod
+    def _advanced_store():
+        store = build_sharded_kv_store(shard_count=2, seed=13)
+        store.put_sync("c1", "warm", 1)     # advance shard clocks
+        return store
+
+    def test_anchor_now_rebases_relative_timeline_mid_run(self):
+        store = self._advanced_store()
+        shard = store.shard_for("warm")
+        now = store.group[shard].now
+        assert now > 0
+        timeline = FaultTimeline().burst(2.0, fraction=0.2,
+                                         targets="servers")
+        installed = store.install_timeline(shard, timeline, anchor="now")
+        assert installed.tau_no_tr == now + 2.0
+        before = store.injector_for(shard).corruptions
+        store.group[shard].run(until=now + 3.0)
+        assert store.injector_for(shard).corruptions > before
+
+    def test_negative_anchor_into_the_past_is_rejected_atomically(self):
+        """A negative offset that lands any event before the shard's
+        clock must fail loudly — and leave nothing partially installed."""
+        store = self._advanced_store()
+        shard = store.shard_for("warm")
+        now = store.group[shard].now
+        timeline = (FaultTimeline()
+                    .burst(now + 5.0, fraction=0.2, targets="servers")
+                    .burst(1.0, fraction=0.2, targets="servers"))
+        pending = store.group[shard].scheduler.pending_count()
+        with pytest.raises(ValueError, match="past"):
+            store.install_timeline(shard, timeline, anchor=-(now + 0.5))
+        # no partial install: the in-range first event was not scheduled
+        assert store.group[shard].scheduler.pending_count() == pending
+
+    def test_reanchor_after_shifted_composes_offsets(self):
+        store = build_sharded_kv_store(shard_count=2, seed=14)
+        timeline = FaultTimeline().burst(1.0, fraction=0.2,
+                                         targets="servers")
+        installed = store.install_timeline(0, timeline.shifted(3.0),
+                                           anchor=2.0)
+        assert [event.time for event in installed.events] == [6.0]
+        assert installed.tau_no_tr == 6.0
+
+    def test_unanchored_past_event_rejected(self):
+        store = self._advanced_store()
+        shard = store.shard_for("warm")
+        stale = FaultTimeline().burst(0.5, fraction=0.2,
+                                      targets="servers")
+        with pytest.raises(ValueError, match="anchor"):
+            store.install_timeline(shard, stale)
+
+    def test_bad_anchor_value_rejected(self):
+        store = build_sharded_kv_store(shard_count=2, seed=15)
+        timeline = FaultTimeline().burst(1.0, fraction=0.2,
+                                         targets="servers")
+        with pytest.raises(ValueError, match="anchor"):
+            store.install_timeline(0, timeline, anchor="later")
 
 
 class TestPipeline:

@@ -238,3 +238,108 @@ def test_schedule_delivery_rejects_past():
     sched.run()
     with pytest.raises(SchedulerError):
         sched.schedule_delivery(0.5, "a", "b", "m")
+
+
+# ----------------------------------------------------------------------
+# same-tick batch drain: run() must stay byte-identical to step()
+# ----------------------------------------------------------------------
+def _build_soup(sched, log, rng_seed):
+    """Load a randomized event soup onto ``sched``, logging every firing.
+
+    The soup exercises everything the batched drain could get wrong:
+    long runs of equal timestamps, fused deliveries interleaved with
+    generic handles, callbacks that schedule more events *at the current
+    tick* (they must join the run in seq order), callbacks that cancel
+    not-yet-fired handles, and pre-cancelled entries sitting at the heap
+    head.  Identical seeds build identical soups, so two schedulers can
+    be driven by different loops and compared event-for-event.
+    """
+    import random
+    rng = random.Random(rng_seed)
+    sched.bind_delivery(lambda src, dst, msg: log.append(
+        ("dlv", sched.now, src, dst, msg)))
+    # a handful of coarse ticks so same-time runs are long
+    ticks = sorted(rng.choice([1.0, 1.0, 2.0, 3.0]) for _ in range(40))
+    cancellable = []
+
+    def spawn(tag, depth):
+        log.append(("cb", sched.now, tag, depth))
+        roll = rng.random()  # same rng stream on both schedulers
+        if depth < 2 and roll < 0.45:
+            # same-tick child: must execute inside the current run
+            sched.schedule(0.0, spawn, f"{tag}.s", depth + 1)
+        elif depth < 2 and roll < 0.7:
+            sched.schedule(1.0, spawn, f"{tag}.f", depth + 1)
+        if roll > 0.8 and cancellable:
+            cancellable.pop().cancel()
+
+    for index, tick in enumerate(ticks):
+        kind = rng.random()
+        if kind < 0.4:
+            sched.schedule_delivery(tick, "a", "b", f"m{index}")
+        elif kind < 0.8:
+            sched.schedule_at(tick, spawn, f"e{index}", 0)
+        else:
+            cancellable.append(
+                sched.schedule_at(tick, log.append, ("plain", tick, index)))
+    # a pre-cancelled entry at the very head of the heap
+    sched.schedule_at(0.5, log.append, ("never", 0.5)).cancel()
+
+
+def _reference_run(sched, until=None, max_events=None):
+    """The unbatched one-``step``-per-event loop ``run()`` replaced."""
+    budget = max_events
+    while True:
+        next_time = sched.peek_time()
+        if next_time is None:
+            return
+        if until is not None and next_time > until:
+            sched.now = until
+            return
+        if budget is not None:
+            if budget <= 0:
+                raise SimulationLimitReached(
+                    f"event budget exhausted at t={sched.now}",
+                    sched.events_processed, sched.now)
+            budget -= 1
+        sched.step()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_batched_run_matches_unbatched_reference(seed):
+    batched_log, reference_log = [], []
+    batched, reference = Scheduler(), Scheduler()
+    _build_soup(batched, batched_log, seed)
+    _build_soup(reference, reference_log, seed)
+    batched.run()
+    _reference_run(reference)
+    assert batched_log == reference_log
+    assert batched.now == reference.now
+    assert batched.events_processed == reference.events_processed
+    assert batched.pending_count() == reference.pending_count() == 0
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("until,max_events", [(2.0, None), (None, 13),
+                                              (2.0, 13), (None, 1)])
+def test_batched_run_matches_reference_under_limits(seed, until, max_events):
+    batched_log, reference_log = [], []
+    batched, reference = Scheduler(), Scheduler()
+    _build_soup(batched, batched_log, seed)
+    _build_soup(reference, reference_log, seed)
+    outcomes = []
+    for sched, log, runner in ((batched, batched_log, None),
+                               (reference, reference_log, _reference_run)):
+        try:
+            if runner is None:
+                sched.run(until=until, max_events=max_events)
+            else:
+                runner(sched, until=until, max_events=max_events)
+            outcomes.append(("ok",))
+        except SimulationLimitReached as exc:
+            outcomes.append(("limit", exc.events_processed, exc.now))
+    assert outcomes[0] == outcomes[1]
+    assert batched_log == reference_log
+    assert batched.now == reference.now
+    assert batched.events_processed == reference.events_processed
+    assert batched.pending_count() == reference.pending_count()
