@@ -17,7 +17,8 @@ submodule layouts underneath may shift.  The surface groups into:
 * **faults** — the declarative :class:`FaultTimeline`;
 * **kvstore** — :class:`StabilizingKVStore`, :class:`ShardedKVStore`
   and the request :class:`Pipeline`, plus the shared placement helpers
-  (:func:`partition_ops`, :func:`shard_router`);
+  (:func:`partition_ops`, :func:`shard_router`) and live resharding
+  (:class:`HashRing`, :class:`Rebalancer`, :class:`RebalanceReport`);
 * **parallel** — shard-parallel execution of a single simulation
   (:class:`ParallelScenarioRunner`, :class:`ShardExecutor`,
   :class:`ShardPlan`), normally driven via ``run_scenario(...,
@@ -36,9 +37,9 @@ from .checkers import (History, ObservationStream, Operation,
                        find_tau_stab, history_digest, is_atomic_swsr,
                        is_regular, stabilization_report)
 from .faults import FaultTimeline
-from .kvstore import (Pipeline, ShardedKVStore, StabilizingKVStore,
-                      build_kv_store, build_sharded_kv_store,
-                      partition_ops, shard_router)
+from .kvstore import (HashRing, Pipeline, RebalanceReport, Rebalancer,
+                      ShardedKVStore, StabilizingKVStore, build_kv_store,
+                      build_sharded_kv_store, partition_ops, shard_router)
 from .parallel import (ParallelScenarioRunner, ShardExecutor, ShardOutcome,
                        ShardPlan)
 from .registers import (BOT, Cluster, ClusterConfig, Epoch, EpochLabeling,
@@ -48,13 +49,14 @@ from .registers import (BOT, Cluster, ClusterConfig, Epoch, EpochLabeling,
 from .runner import (CellResult, SweepResult, SweepSpec, run_sweep,
                      smoke_specs)
 from .service import (KVClient, KVService, LoadReport, ServiceError,
-                      ServiceServer, SyncKVClient, run_loopback_load,
-                      serve_tcp)
-from .workloads import (KVScenarioResult, ScenarioEngine, ScenarioResult,
-                        ScenarioSpec, ScenarioSummary, run_kv_scenario,
+                      ServiceServer, ServiceUnavailableError, SyncKVClient,
+                      run_loopback_load, serve_tcp)
+from .workloads import (KVScenarioResult, ReshardScenarioResult,
+                        ScenarioEngine, ScenarioResult, ScenarioSpec,
+                        ScenarioSummary, run_kv_scenario,
                         run_mobile_byzantine_scenario, run_mwmr_scenario,
-                        run_partition_scenario, run_scenario,
-                        run_soak_scenario, run_swsr_scenario,
+                        run_partition_scenario, run_reshard_scenario,
+                        run_scenario, run_soak_scenario, run_swsr_scenario,
                         scenario_families)
 from .workloads.scenarios import INITIAL
 
@@ -70,20 +72,22 @@ __all__ = [
     "stabilization_report",
     # faults
     "FaultTimeline",
-    # kv store
-    "Pipeline", "ShardedKVStore", "StabilizingKVStore", "build_kv_store",
+    # kv store + live resharding
+    "HashRing", "Pipeline", "RebalanceReport", "Rebalancer",
+    "ShardedKVStore", "StabilizingKVStore", "build_kv_store",
     "build_sharded_kv_store", "partition_ops", "shard_router",
     # parallel execution
     "ParallelScenarioRunner", "ShardExecutor", "ShardOutcome", "ShardPlan",
     # scenarios
-    "INITIAL", "KVScenarioResult", "ScenarioEngine", "ScenarioResult",
-    "ScenarioSpec", "ScenarioSummary", "run_kv_scenario",
-    "run_mobile_byzantine_scenario", "run_mwmr_scenario",
-    "run_partition_scenario", "run_scenario", "run_soak_scenario",
-    "run_swsr_scenario", "scenario_families",
+    "INITIAL", "KVScenarioResult", "ReshardScenarioResult",
+    "ScenarioEngine", "ScenarioResult", "ScenarioSpec", "ScenarioSummary",
+    "run_kv_scenario", "run_mobile_byzantine_scenario", "run_mwmr_scenario",
+    "run_partition_scenario", "run_reshard_scenario", "run_scenario",
+    "run_soak_scenario", "run_swsr_scenario", "scenario_families",
     # runner
     "CellResult", "SweepResult", "SweepSpec", "run_sweep", "smoke_specs",
     # service layer
     "KVClient", "KVService", "LoadReport", "ServiceError", "ServiceServer",
-    "SyncKVClient", "run_loopback_load", "serve_tcp",
+    "ServiceUnavailableError", "SyncKVClient", "run_loopback_load",
+    "serve_tcp",
 ]

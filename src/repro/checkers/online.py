@@ -51,7 +51,7 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_left, bisect_right, insort
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Set
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from .atomicity import NewOldInversion
 from .history import Operation
@@ -489,6 +489,7 @@ class OnlineTauTracker(OnlineChecker):
         self._cand_dropped = False
         self._dirty_reg: Set[int] = set()
         self._dirty_second: Set[int] = set()
+        self._epochs: List[Tuple[float, str]] = []
         self._finished = False
 
     # -- ingestion ---------------------------------------------------------
@@ -570,6 +571,30 @@ class OnlineTauTracker(OnlineChecker):
         if index < len(self._candidates):
             return self._candidates[index]
         return None
+
+    # -- migration epochs ---------------------------------------------------
+    def begin_epoch(self, time: float, label: str = "") -> None:
+        """Record a migration-epoch boundary at ``time``.
+
+        Epochs are the τ cut-offs of *planned* disruptions — the live
+        resharding scenario marks one per completed rebalance handoff —
+        and reuse the tracker's barrier/candidate state, so they cost
+        O(1) here and O(log reads) each at :meth:`epoch_taus` time.
+        """
+        self._epochs.append((float(time), str(label)))
+
+    def epoch_taus(self) -> List[Dict[str, Any]]:
+        """Per-epoch τ_stab: the same first-violation-free-suffix answer
+        :meth:`tau_stab` gives, with each epoch's start as the cut-off.
+
+        ``tau == start`` means the epoch was clean (every read from its
+        first instant on is consistent); a later ``tau`` is the instant
+        the system re-stabilized after the epoch's disruption; ``None``
+        means violations persisted to the end of the stream.
+        """
+        return [{"label": label, "start": start,
+                 "tau": self.tau_stab(start)}
+                for start, label in self._epochs]
 
     def tau_1w(self, tau_no_tr: float = 0.0) -> Optional[float]:
         """Response instant of the first write invoked at/after τ_no_tr."""

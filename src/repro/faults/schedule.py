@@ -28,6 +28,18 @@ Supported event kinds
                     Byzantine set moves to ``servers`` (at most ``t``),
                     running ``strategy``; servers leaving the set re-join
                     the correct ones with corrupted state.
+``reshard_split``   live resharding: split ``shard`` in two (a joined
+                    pool takes half its vnode slots, keys migrate).
+``reshard_merge``   retire ``source`` into ``into`` (all its slots and
+                    keys move there).
+``migrate_vnodes``  move ``count`` vnode slots ``source`` → ``dest``.
+
+The three ``reshard_*``/``migrate_vnodes`` kinds are **store-scoped**:
+they reshape the whole :class:`~repro.kvstore.sharded.ShardedKVStore`,
+not one cluster, so :meth:`FaultTimeline.install` (cluster-scoped)
+rejects them — the :class:`~repro.kvstore.rebalance.Rebalancer` applies
+them instead, between pipelined batches, composing with the per-shard
+cluster-scoped events around them.
 
 τ timeline
 ----------
@@ -51,9 +63,17 @@ from .transient import TransientFaultInjector
 
 #: event kinds a timeline may contain (anything else is a spec error).
 EVENT_KINDS = ("burst", "link-garbage", "partition", "heal", "crash",
-               "recover", "byzantine")
+               "recover", "byzantine", "reshard_split", "reshard_merge",
+               "migrate_vnodes")
 
-#: kinds that count towards τ_no_tr (see module docstring).
+#: store-scoped rebalance kinds — applied by the Rebalancer, never
+#: schedulable on a single cluster (see module docstring).
+RESHARD_KINDS = frozenset({"reshard_split", "reshard_merge",
+                           "migrate_vnodes"})
+
+#: kinds that count towards τ_no_tr (see module docstring).  A rebalance
+#: is a transient disturbance like a burst: ownership moves, then the
+#: system must re-converge.
 _TRANSIENT_KINDS = frozenset(EVENT_KINDS) - {"byzantine"}
 
 
@@ -156,6 +176,29 @@ class FaultTimeline:
             self.byzantine(time, byz_set, strategy)
         return self
 
+    def reshard_split(self, time: float, shard: int) -> "FaultTimeline":
+        """Split ``shard`` at ``time`` (a freshly joined pool takes every
+        other one of its vnode slots)."""
+        return self.add(time, "reshard_split", shard=int(shard))
+
+    def reshard_merge(self, time: float, source: int,
+                      into: int) -> "FaultTimeline":
+        """Retire ``source`` into ``into`` at ``time``."""
+        if source == into:
+            raise ValueError("cannot merge a shard into itself")
+        return self.add(time, "reshard_merge", source=int(source),
+                        into=int(into))
+
+    def migrate_vnodes(self, time: float, source: int, dest: int,
+                       count: int = 1) -> "FaultTimeline":
+        """Move ``count`` vnode slots from ``source`` to ``dest``."""
+        if source == dest:
+            raise ValueError("cannot migrate vnodes onto their own shard")
+        if count < 1:
+            raise ValueError("must migrate at least one vnode")
+        return self.add(time, "migrate_vnodes", source=int(source),
+                        dest=int(dest), count=int(count))
+
     def shifted(self, offset: float) -> "FaultTimeline":
         """A copy with every event time moved by ``offset``.
 
@@ -212,6 +255,12 @@ class FaultTimeline:
         # scheduler.
         now = cluster.scheduler.now
         for event in self.events:
+            if event.kind in RESHARD_KINDS:
+                raise ValueError(
+                    f"timeline event {event.kind!r} is store-scoped: it "
+                    f"reshapes the whole sharded store, not one cluster — "
+                    f"drive it through repro.kvstore.rebalance.Rebalancer "
+                    f"(the reshard scenario family does this)")
             if event.time < now:
                 raise ValueError(
                     f"timeline event {event.kind!r} at t={event.time} is "

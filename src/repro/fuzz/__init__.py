@@ -18,14 +18,18 @@ minimal, replayable JSON artifact:
 
 from .campaign import (FuzzCampaignResult, campaign_cases, campaign_spec,
                        run_campaign)
-from .gen import (DEFAULT_PROFILE, FuzzCase, FuzzProfile, generate_case)
+from .gen import (DEFAULT_PROFILE, FuzzCase, FuzzProfile, KVFuzzCase,
+                  ReshardFuzzCase, generate_case, generate_kv_case,
+                  generate_reshard_case)
 from .harness import INJECT_ENV, CaseOutcome, confirm_case, run_case
 from .replay import ReplayArtifact, ReplayOutcome, replay
 from .shrink import ShrinkResult, shrink_case
 
 __all__ = [
     "CaseOutcome", "DEFAULT_PROFILE", "FuzzCampaignResult", "FuzzCase",
-    "FuzzProfile", "INJECT_ENV", "ReplayArtifact", "ReplayOutcome",
-    "ShrinkResult", "campaign_cases", "campaign_spec", "confirm_case",
-    "generate_case", "replay", "run_campaign", "run_case", "shrink_case",
+    "FuzzProfile", "INJECT_ENV", "KVFuzzCase", "ReplayArtifact",
+    "ReplayOutcome", "ReshardFuzzCase", "ShrinkResult", "campaign_cases",
+    "campaign_spec", "confirm_case", "generate_case", "generate_kv_case",
+    "generate_reshard_case", "replay", "run_campaign", "run_case",
+    "shrink_case",
 ]

@@ -32,13 +32,13 @@ from ..runner.engine import run_sweep
 from ..runner.results import CellResult
 from ..runner.spec import SweepSpec
 from .gen import (DEFAULT_PROFILE, FuzzCase, FuzzProfile, generate_case,
-                  generate_kv_case)
+                  generate_kv_case, generate_reshard_case)
 from .harness import confirm_case, run_case
 from .replay import ReplayArtifact, current_inject_env
 from .shrink import shrink_case
 
 #: case families the campaign can run (the CLI's ``--family``).
-FAMILIES = ("swsr", "kv")
+FAMILIES = ("swsr", "kv", "reshard")
 
 
 def _generator(family: str):
@@ -47,7 +47,11 @@ def _generator(family: str):
     if family not in FAMILIES:
         raise ValueError(f"unknown fuzz family {family!r} "
                          f"(expected one of {FAMILIES})")
-    return generate_kv_case if family == "kv" else generate_case
+    if family == "kv":
+        return generate_kv_case
+    if family == "reshard":
+        return generate_reshard_case
+    return generate_case
 
 
 def spec_name(campaign_seed: int, family: str) -> str:

@@ -44,11 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "derived from it; default 0)")
     parser.add_argument("--cases", type=int, default=None, metavar="N",
                         help="number of generated cases (default 50)")
-    parser.add_argument("--family", choices=("swsr", "kv"),
+    parser.add_argument("--family", choices=("swsr", "kv", "reshard"),
                         default="swsr",
                         help="case family: single register pairs under "
-                             "fault timelines (swsr, default) or sharded "
-                             "KV workloads (kv)")
+                             "fault timelines (swsr, default), sharded "
+                             "KV workloads (kv), or live resharding "
+                             "under traffic (reshard)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker processes for the fast-path fan-out")
     parser.add_argument("--smoke", action="store_true",
@@ -110,7 +111,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.dry_run:
         for cell_id, case in campaign_cases(args.seed, args.cases,
                                             family=args.family):
-            if args.family == "kv":
+            if args.family == "reshard":
+                print(f"{cell_id}  seed={case.seed}  "
+                      f"shards={case.shard_count} vnodes={case.vnodes} "
+                      f"clients={case.client_count} keys={case.num_keys} "
+                      f"rounds={case.rounds} "
+                      f"byz={case.byzantine_count}:"
+                      f"{case.byzantine_strategy} "
+                      f"plan={len(case.plan_events())} "
+                      f"events={len(case.timeline)}")
+            elif args.family == "kv":
                 print(f"{cell_id}  seed={case.seed}  "
                       f"shards={case.shard_count} n={case.n} t={case.t} "
                       f"clients={case.client_count} keys={case.num_keys} "

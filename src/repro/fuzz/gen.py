@@ -248,8 +248,106 @@ class KVFuzzCase:
                                             for event in events))
 
 
+@dataclass(frozen=True)
+class ReshardFuzzCase:
+    """One generated *live-resharding* experiment (the ``reshard`` family).
+
+    Mirrors :class:`KVFuzzCase` for :func:`~repro.workloads.scenarios
+    .run_reshard_scenario`, with one twist: the flattened ``timeline``
+    holds **both** per-shard fault events (each carrying its ``shard``
+    index) and store-scoped rebalance events (``reshard_split`` /
+    ``reshard_merge`` / ``migrate_vnodes``, no ``shard`` key).
+    :meth:`scenario_kwargs` splits them back into ``fault_timelines`` and
+    ``reshard_plan`` — and because they share one event vector, the ddmin
+    shrinker minimizes rebalance plans exactly like fault timelines
+    (a candidate whose plan drops a split that a later merge references
+    simply fails validation and is rejected as a different signature).
+    """
+
+    seed: int
+    shard_count: int
+    n: int
+    t: int
+    client_count: int
+    num_keys: int
+    rounds: int
+    vnodes: int
+    byzantine_count: int
+    byzantine_strategy: str
+    timeline: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
+    max_events: int = 6_000_000
+
+    # -- derived -----------------------------------------------------------
+    def plan_events(self) -> List[Dict[str, Any]]:
+        from ..faults.schedule import RESHARD_KINDS
+        return [event for event in self.timeline
+                if event["kind"] in RESHARD_KINDS]
+
+    def scenario_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for ``run_reshard_scenario`` (minus backend)."""
+        from ..faults.schedule import RESHARD_KINDS
+        per_shard: Dict[int, List[Dict[str, Any]]] = {}
+        plan: List[Dict[str, Any]] = []
+        for event in self.timeline:
+            if event["kind"] in RESHARD_KINDS:
+                plan.append({key: value for key, value in event.items()
+                             if key != "shard"})
+            else:
+                entry = {key: value for key, value in event.items()
+                         if key != "shard"}
+                per_shard.setdefault(int(event["shard"]), []).append(entry)
+        return {
+            "shard_count": self.shard_count, "n": self.n, "t": self.t,
+            "seed": self.seed, "client_count": self.client_count,
+            "num_keys": self.num_keys, "rounds": self.rounds,
+            "vnodes": self.vnodes,
+            "byzantine_count": self.byzantine_count,
+            "byzantine_strategy": self.byzantine_strategy,
+            "fault_timelines": {shard: {"events": events}
+                                for shard, events in per_shard.items()},
+            "reshard_plan": {"events": plan},
+            "max_events": self.max_events,
+        }
+
+    # -- (de)serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["timeline"] = [dict(event) for event in self.timeline]
+        data["family"] = "reshard"
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReshardFuzzCase":
+        fields = {key: value for key, value in data.items()
+                  if key != "family"}
+        events = []
+        for event in (fields.get("timeline") or ()):
+            entry = {"time": float(event["time"]), "kind": event["kind"],
+                     "args": dict(event.get("args") or {})}
+            if "shard" in event:
+                entry["shard"] = int(event["shard"])
+            events.append(entry)
+        fields["timeline"] = tuple(events)
+        try:
+            return cls(**fields)
+        except TypeError as exc:   # missing or unknown fields
+            raise ValueError(
+                f"malformed reshard fuzz case: {exc}") from None
+
+    def with_timeline(self, events) -> "ReshardFuzzCase":
+        """Copy with a replacement event list (shrinker hook)."""
+        return replace(self, timeline=tuple(dict(event)
+                                            for event in events))
+
+
 def case_from_dict(data: Dict[str, Any]):
-    """Load either fuzz-case family from its dict rendering."""
+    """Load any fuzz-case family from its dict rendering.
+
+    The reshard test must come first: a reshard case also carries
+    ``shard_count``, which would otherwise match the kv branch.
+    """
+    if data.get("family") == "reshard" or "vnodes" in data:
+        return ReshardFuzzCase.from_dict(data)
     if data.get("family") == "kv" or "shard_count" in data:
         return KVFuzzCase.from_dict(data)
     return FuzzCase.from_dict(data)
@@ -470,3 +568,92 @@ def generate_kv_case(seed: int,
         byzantine_count=byzantine_count,
         byzantine_strategy=byzantine_strategy,
         timeline=tuple(events), max_events=profile.max_events)
+
+
+# ----------------------------------------------------------------------
+# the reshard family
+# ----------------------------------------------------------------------
+def _sample_reshard_plan(rng: random.Random, shard_count: int,
+                         vnodes: int) -> List[Dict[str, Any]]:
+    """A statically valid rebalance plan (1-3 store-scoped events).
+
+    Generated cases must pass on a correct implementation, so the
+    sampler replays the ring algebra it is about to request: splits
+    allocate indices in order, merges empty their source, slot counts
+    track every move — no event ever splits a sub-2-slot shard, merges
+    an empty one or migrates more slots than the source owns.  Times are
+    sampled *increasing* so the scenario's time-ordering of the plan
+    preserves the sampled reference order.
+    """
+    slots = [vnodes] * shard_count        # per-shard owned-slot counts
+    events: List[Dict[str, Any]] = []
+    time = 0.0
+    for _ in range(1 + rng.randrange(3)):
+        time = _quantize(time + rng.uniform(2.0, 20.0))
+        splittable = [s for s, count in enumerate(slots) if count >= 2]
+        occupied = [s for s, count in enumerate(slots) if count >= 1]
+        kinds = []
+        if splittable:
+            kinds.append("reshard_split")
+        if len(occupied) >= 2:
+            kinds.extend(["reshard_merge", "migrate_vnodes"])
+        if not kinds:
+            break
+        kind = rng.choice(kinds)
+        if kind == "reshard_split":
+            shard = rng.choice(splittable)
+            moved = slots[shard] // 2
+            slots[shard] -= moved
+            slots.append(moved)
+            events.append({"time": time, "kind": "reshard_split",
+                           "args": {"shard": shard}})
+        elif kind == "reshard_merge":
+            source = rng.choice(occupied)
+            into = rng.choice([s for s in occupied if s != source])
+            slots[into] += slots[source]
+            slots[source] = 0
+            events.append({"time": time, "kind": "reshard_merge",
+                           "args": {"source": source, "into": into}})
+        else:
+            source = rng.choice([s for s in occupied if slots[s] >= 1])
+            dest = rng.choice([s for s in range(len(slots))
+                               if s != source])
+            count = 1 + rng.randrange(min(2, slots[source]))
+            slots[source] -= count
+            slots[dest] += count
+            events.append({"time": time, "kind": "migrate_vnodes",
+                           "args": {"source": source, "dest": dest,
+                                    "count": count}})
+    return events
+
+
+def generate_reshard_case(seed: int, profile: FuzzProfile = DEFAULT_PROFILE
+                          ) -> ReshardFuzzCase:
+    """The pure reshard-family generator: ``(seed, profile) -> case``.
+
+    >>> case = generate_reshard_case(7)
+    >>> case == generate_reshard_case(7)
+    True
+    >>> len(case.plan_events()) >= 1
+    True
+    """
+    rng = random.Random(seed)
+    shard_count = 1 + rng.randrange(3)
+    n, t = 9, 1
+    client_count = 1 + rng.randrange(3)
+    num_keys = 1 + rng.randrange(5)
+    rounds = 1 + rng.randrange(3)
+    vnodes = rng.choice([2, 4, 8])
+    byzantine_count = rng.randrange(t + 1)
+    byzantine_strategy = rng.choice(list(KV_STRATEGIES))
+    server_ids = [server_name(i) for i in range(n)]
+    faults = _sample_kv_shard_events(rng, profile, shard_count, server_ids,
+                                     byzantine_count)
+    faults.sort(key=lambda event: (event["shard"], event["time"]))
+    plan = _sample_reshard_plan(rng, shard_count, vnodes)
+    return ReshardFuzzCase(
+        seed=seed, shard_count=shard_count, n=n, t=t,
+        client_count=client_count, num_keys=num_keys, rounds=rounds,
+        vnodes=vnodes, byzantine_count=byzantine_count,
+        byzantine_strategy=byzantine_strategy,
+        timeline=tuple(faults + plan), max_events=profile.max_events)

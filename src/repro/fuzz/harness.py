@@ -32,7 +32,7 @@ from ..checkers.regularity import check_regularity
 from ..checkers.stabilization import stabilization_report
 from ..runner.adapters import counters_from
 from ..workloads.spec import run_scenario
-from .gen import INITIAL, FuzzCase, KVFuzzCase
+from .gen import INITIAL, FuzzCase, KVFuzzCase, ReshardFuzzCase
 
 #: environment variable enabling the test-only injection hook.
 INJECT_ENV = "REPRO_FUZZ_INJECT"
@@ -158,17 +158,82 @@ def _run_kv_case(case: KVFuzzCase, backend: str = "null",
         history_digest=summary.history_digest)
 
 
+def _run_reshard_case(case: ReshardFuzzCase, backend: str = "null",
+                      detail: bool = False) -> CaseOutcome:
+    """Execute a reshard-family case.
+
+    Verdict = per-key post-τ linearizability straight across every
+    handoff, **plus** per-migration-epoch stabilization: every applied
+    rebalance must reach an aggregated epoch τ (``epoch-unstable``
+    otherwise — some key's reads never went clean again after the
+    ownership change).
+    """
+    try:
+        result = run_scenario("reshard", trace_backend=backend,
+                              **case.scenario_kwargs())
+    except Exception as exc:  # noqa: BLE001 - cases must not kill campaigns
+        return CaseOutcome(
+            case=case, backend=backend, completed=False, stable=None,
+            ok=False,
+            violations=[{"kind": f"error:{type(exc).__name__}",
+                         "detail": str(exc)}])
+    violations: List[Dict[str, Any]] = []
+    if not result.completed:
+        violations.append({
+            "kind": "incomplete",
+            "detail": "operations did not terminate within "
+                      f"max_events={case.max_events}"})
+    else:
+        for key in sorted(result.per_key_linearizable):
+            if not result.per_key_linearizable[key]:
+                shard = result.store.shard_for(key)
+                entry = (f"key {key!r} (shard {shard}) post-tau history "
+                         "does not linearize across the handoffs")
+                if detail:
+                    ops = [repr(op) for op in sorted(
+                        result.history.ops,
+                        key=lambda op: (op.invoke, op.response))
+                        if op.register == f"kv/{key}"]
+                    entry += "; ops: " + " | ".join(ops)
+                violations.append({"kind": "kv-linearizability",
+                                   "detail": entry})
+        for entry in result.epoch_taus:
+            if entry["tau"] is None:
+                violations.append({
+                    "kind": "epoch-unstable",
+                    "detail": f"migration epoch {entry['label']} "
+                              f"(start {entry['start']:.3f}) never "
+                              "re-stabilized"})
+    violations.extend(_injected_violations(case))
+    summary = result.summarize()
+    counters = counters_from(summary)
+    counters["timeline_events"] = len(case.timeline)
+    counters["shards"] = result.store.shard_count
+    counters["rebalances"] = len(result.rebalances)
+    counters["keys_transferred"] = sum(len(report.transferred)
+                                       for report in result.rebalances)
+    timings = {"sim_end": summary.sim_end, "tau_no_tr": result.tau_no_tr}
+    return CaseOutcome(
+        case=case, backend=backend, completed=result.completed,
+        stable=summary.stable, ok=not violations, violations=violations,
+        counters=counters, timings=timings,
+        history_digest=summary.history_digest)
+
+
 def run_case(case, backend: str = "null",
              detail: bool = False) -> CaseOutcome:
     """Execute ``case`` on the given trace backend and judge it.
 
     Dispatches on the case family (:class:`FuzzCase` → SWSR scenario,
-    :class:`KVFuzzCase` → sharded KV scenario).  ``detail=True`` (the
-    FullTrace confirmation pass) additionally lists the concrete
-    violating reads; the fast path only needs the boolean verdict.  A
-    raising scenario is *contained* as an ``error:<Type>`` violation so
-    shrinking works uniformly on crashes too.
+    :class:`KVFuzzCase` → sharded KV scenario, :class:`ReshardFuzzCase`
+    → live-resharding scenario).  ``detail=True`` (the FullTrace
+    confirmation pass) additionally lists the concrete violating reads;
+    the fast path only needs the boolean verdict.  A raising scenario is
+    *contained* as an ``error:<Type>`` violation so shrinking works
+    uniformly on crashes too.
     """
+    if isinstance(case, ReshardFuzzCase):
+        return _run_reshard_case(case, backend, detail=detail)
     if isinstance(case, KVFuzzCase):
         return _run_kv_case(case, backend, detail=detail)
     try:

@@ -22,7 +22,7 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .gen import FuzzCase, KVFuzzCase
+from .gen import FuzzCase, KVFuzzCase, ReshardFuzzCase
 from .harness import CaseOutcome, run_case
 
 Oracle = Callable[[FuzzCase], CaseOutcome]
@@ -177,8 +177,41 @@ def _kv_parameter_candidates(case: KVFuzzCase
     return candidates
 
 
+def _reshard_parameter_candidates(case: ReshardFuzzCase
+                                  ) -> List[Tuple[str, ReshardFuzzCase]]:
+    """Reduction ladder for reshard-family cases.
+
+    Shares the kv ladder's shape (fewer rounds/keys/clients, no static
+    adversary); ``shard_count`` and ``vnodes`` stay fixed — both feed
+    the ring algebra the plan events were validated against, and a
+    changed ring just produces differently-placed keys (a different
+    case, not a smaller one).  The plan itself shrinks through the
+    ordinary ddmin event pass: plan and fault events share the timeline.
+    """
+    candidates: List[Tuple[str, ReshardFuzzCase]] = []
+
+    def propose(label: str, **changes: Any) -> None:
+        candidate = replace(case, **changes)
+        if candidate != case:
+            candidates.append((label, candidate))
+
+    for target in (1, case.rounds // 2):
+        if 1 <= target < case.rounds:
+            propose(f"rounds={target}", rounds=target)
+    for target in (1, case.num_keys // 2):
+        if 1 <= target < case.num_keys:
+            propose(f"num_keys={target}", num_keys=target)
+    if case.client_count > 1:
+        propose("client_count=1", client_count=1)
+    if case.byzantine_count > 0:
+        propose("byzantine_count=0", byzantine_count=0)
+    return candidates
+
+
 def _parameter_candidates(case: FuzzCase) -> List[Tuple[str, FuzzCase]]:
     """Ordered single-parameter reductions to try (biggest wins first)."""
+    if isinstance(case, ReshardFuzzCase):
+        return _reshard_parameter_candidates(case)
     if isinstance(case, KVFuzzCase):
         return _kv_parameter_candidates(case)
     candidates: List[Tuple[str, FuzzCase]] = []

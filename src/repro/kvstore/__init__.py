@@ -8,18 +8,26 @@ Two deployment shapes behind one vocabulary:
   pools that fail independently, with :class:`Pipeline` keeping many
   operations in flight per client.
 
-See ``docs/ARCHITECTURE.md`` ("kvstore — the service layer") for how
-this layer sits on top of the register constructions.
+Since PR 8 the sharded shape is *elastic*: the ring is mutable and
+:class:`Rebalancer` performs live resharding (split/merge/join/retire
+plus vnode migration) with deterministic state transfer while clients
+keep issuing through the pipeline.
+
+See ``docs/ARCHITECTURE.md`` ("kvstore — the service layer" and
+"rebalance — live resharding") for how this layer sits on top of the
+register constructions.
 """
 
 from .pipeline import Pipeline, PipelineHandle
+from .rebalance import RebalanceReport, Rebalancer
 from .sharded import ShardedKVStore, build_sharded_kv_store
 from .sharding import (HashRing, derive_shard_seed, partition_ops,
                        shard_router)
 from .store import StabilizingKVStore, build_kv_store
 
 __all__ = [
-    "HashRing", "Pipeline", "PipelineHandle", "ShardedKVStore",
-    "StabilizingKVStore", "build_kv_store", "build_sharded_kv_store",
-    "derive_shard_seed", "partition_ops", "shard_router",
+    "HashRing", "Pipeline", "PipelineHandle", "RebalanceReport",
+    "Rebalancer", "ShardedKVStore", "StabilizingKVStore", "build_kv_store",
+    "build_sharded_kv_store", "derive_shard_seed", "partition_ops",
+    "shard_router",
 ]

@@ -39,7 +39,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-from ..sim.errors import OperationError
+from ..sim.errors import OperationError, SimulationLimitReached
 from ..sim.process import OperationHandle
 from .sharding import shard_router
 
@@ -102,13 +102,17 @@ class Pipeline:
         #: moment it completes (shard-local completion order) — how the
         #: streaming observation pipeline taps pipelined KV runs.
         self.on_complete = on_complete
-        group = getattr(store, "group", None)
-        self._clusters = list(group) if group is not None else [store.cluster]
         self._shard_for = shard_router(store)
         self._lanes: Dict[Tuple[int, str], _Lane] = {}
         self._in_flight: Dict[Tuple[int, str], bool] = {}
-        self._outstanding: List[int] = [0] * len(self._clusters)
+        self._outstanding: List[int] = [0] * len(self._clusters())
         self.issued: List[PipelineHandle] = []
+
+    def _clusters(self) -> List[Any]:
+        """The store's clusters, re-read on every drain so shards joined
+        after construction (live resharding) acquire drainable lanes."""
+        group = getattr(self.store, "group", None)
+        return list(group) if group is not None else [self.store.cluster]
 
     # -- enqueueing --------------------------------------------------------
     def put(self, client_pid: str, key: str, value: Any) -> PipelineHandle:
@@ -131,6 +135,8 @@ class Pipeline:
         lane = self._lanes.setdefault(lane_key, deque())
         lane.append((issue, pending))
         self.issued.append(pending)
+        while pending.shard >= len(self._outstanding):
+            self._outstanding.append(0)
         self._outstanding[pending.shard] += 1
         if not self._in_flight.get(lane_key):
             self._issue_next(lane_key)
@@ -166,9 +172,25 @@ class Pipeline:
         return sum(self._outstanding)
 
     def pending_on(self, shard: int) -> int:
+        if shard >= len(self._outstanding):
+            return 0
         return self._outstanding[shard]
 
     # -- draining ----------------------------------------------------------
+    def drain_shard(self, shard: int,
+                    max_events: int = 2_000_000) -> None:
+        """Run one shard until its in-flight operations complete.
+
+        Completed handles stay in :attr:`issued` (the next ``flush``
+        returns them); this only forces the shard-local drain — the
+        "ops in flight to the old owner finish there" half of a live
+        rebalance handoff (``repro.kvstore.rebalance``).
+        """
+        if self.pending_on(shard) == 0:
+            return
+        self._clusters()[shard].scheduler.run_until(
+            lambda: self._outstanding[shard] == 0, max_events=max_events)
+
     def flush(self, max_events: int = 2_000_000) -> List[PipelineHandle]:
         """Run every shard (index order) until its pipeline drains.
 
@@ -177,12 +199,25 @@ class Pipeline:
         symptom of a violated resilience assumption, same as
         ``Cluster.run_ops``).  Returns the issued handles in enqueue
         order — all completed.
+
+        Flush is resumable: if a shard stalls, handles that *did*
+        complete are detached from :attr:`issued` and annotated on the
+        exception as ``exc.drained`` (enqueue order), while unfinished
+        ones stay queued — so a retrying caller sees every handle exactly
+        once and never a stale duplicate.
         """
-        for shard, cluster in enumerate(self._clusters):
-            if self._outstanding[shard] == 0:
-                continue
-            cluster.scheduler.run_until(
-                lambda shard=shard: self._outstanding[shard] == 0,
-                max_events=max_events)
+        try:
+            for shard, cluster in enumerate(self._clusters()):
+                if self.pending_on(shard) == 0:
+                    continue
+                cluster.scheduler.run_until(
+                    lambda shard=shard: self._outstanding[shard] == 0,
+                    max_events=max_events)
+        except SimulationLimitReached as exc:
+            drained = [handle for handle in self.issued if handle.done]
+            self.issued = [handle for handle in self.issued
+                           if not handle.done]
+            exc.drained = drained
+            raise
         drained, self.issued = self.issued, []
         return drained

@@ -1,0 +1,238 @@
+"""Live resharding: ring mutations as safe, checker-visible operations.
+
+A bare :meth:`~repro.kvstore.sharding.HashRing.split_shard` changes key
+*placement* but not key *state*: a read routed to the new owner would
+see the initial value and the online checkers would (correctly) flag a
+linearizability violation.  :class:`Rebalancer` wraps every ring
+mutation in the handoff protocol that keeps per-key linearizability
+intact while clients keep issuing through the
+:class:`~repro.kvstore.pipeline.Pipeline`:
+
+1. **drain** — operations already in flight complete where they were
+   routed (ops to a migrating key finish on the *old* owner);
+2. **mutate** — the ring reassigns vnode slots (spawning a fresh pool
+   first for ``split``/``join``), so every operation enqueued *after*
+   this instant routes to the *new* owner;
+3. **align** — destination clocks are advanced past every source clock,
+   so the handoff is monotone in timestamps across the independent
+   shard simulations;
+4. **transfer** — each moved key's current value is read on the old
+   owner and written on the new one, as *real* quorum operations fed to
+   the observation stream: the dual-ownership window is explicit in the
+   history, and the :class:`~repro.checkers.stream.StreamingLinearizer`
+   verifies the ``kv/{key}`` lane straight across the handoff.
+
+Every rebalance returns a :class:`RebalanceReport` (and appends it to
+``Rebalancer.reports``) — the migration epochs the ``reshard`` scenario
+family turns into per-epoch τ measurements.
+
+>>> from repro.kvstore.sharded import build_sharded_kv_store
+>>> store = build_sharded_kv_store(shard_count=2, seed=7)
+>>> store.put_sync("c1", "cat", 1)
+>>> rebalancer = Rebalancer(store)
+>>> report = rebalancer.split(store.shard_for("cat"))
+>>> report.kind, store.shard_count
+('reshard_split', 3)
+>>> store.get_sync("c2", "cat")     # state survived the handoff
+1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, List, Optional, Tuple, Union,
+                    TYPE_CHECKING)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.schedule import TimelineEvent
+    from ..sim.process import OperationHandle
+    from .pipeline import Pipeline
+    from .sharded import ShardedKVStore
+
+
+def _noop() -> None:
+    """Clock-alignment tick: advances a destination cluster's local time
+    without doing anything (scheduled at the alignment horizon)."""
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one rebalance did: the migration epoch's facts, JSON-able."""
+
+    kind: str                      #: which mutation ran
+    time: float                    #: group clock when the handoff finished
+    new_shard: Optional[int]       #: index spawned by split/join, else None
+    sources: Tuple[int, ...]       #: shards that lost keys
+    dests: Tuple[int, ...]         #: shards that gained keys
+    moved_keys: Tuple[str, ...]    #: every key whose placement changed
+    transferred: Tuple[str, ...]   #: moved keys that held state to copy
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"dests": list(self.dests), "kind": self.kind,
+                "moved_keys": list(self.moved_keys),
+                "new_shard": self.new_shard,
+                "sources": list(self.sources), "time": self.time,
+                "transferred": list(self.transferred)}
+
+
+class Rebalancer:
+    """Applies ring mutations to a live :class:`ShardedKVStore` safely.
+
+    ``pipeline`` (optional) is drained before each mutation so in-flight
+    operations land on their original owners; ``observe`` (optional) is
+    called with every state-transfer operation handle after it completes
+    — pass the observation stream's ``observe_handle`` so the handoff is
+    checker-visible.  ``migration_client`` names the store client that
+    performs transfers (default: the first logical client) — or a
+    callable ``key -> pid``, for workloads whose per-register checkers
+    are single-writer (the transfer write then comes from the key's own
+    designated writer, keeping every ``kv/{key}`` lane SWSR).
+    """
+
+    def __init__(self, store: "ShardedKVStore",
+                 pipeline: Optional["Pipeline"] = None,
+                 observe: Optional[Callable[["OperationHandle"],
+                                            None]] = None,
+                 migration_client: Union[str, Callable[[str], str],
+                                         None] = None,
+                 max_events: int = 2_000_000):
+        self.store = store
+        self.pipeline = pipeline
+        self.observe = observe
+        self.migration_client = migration_client or store.client_pids[0]
+        self.max_events = max_events
+        self.reports: List[RebalanceReport] = []
+
+    # -- the mutation vocabulary -------------------------------------------
+    def split(self, shard: int) -> RebalanceReport:
+        """Split ``shard``: spawn a fresh pool, hand it every other one
+        of the shard's vnode slots, transfer the keys that moved."""
+        def mutate() -> int:
+            index = self.store.spawn_pool()
+            ring_index = self.store.ring.split_shard(shard)
+            if ring_index != index:  # pragma: no cover - construction bug
+                raise RuntimeError(f"ring allocated shard {ring_index} "
+                                   f"but pool index is {index}")
+            return index
+        return self._rebalance("reshard_split", mutate)
+
+    def join(self, vnodes: Optional[int] = None) -> RebalanceReport:
+        """Grow ``S → S + 1``: spawn a pool, give it fresh ring slots
+        (~``1/(S+1)`` of the keys move to it), transfer their state."""
+        def mutate() -> int:
+            index = self.store.spawn_pool()
+            ring_index = self.store.ring.add_shard(vnodes)
+            if ring_index != index:  # pragma: no cover - construction bug
+                raise RuntimeError(f"ring allocated shard {ring_index} "
+                                   f"but pool index is {index}")
+            return index
+        return self._rebalance("join", mutate)
+
+    def merge(self, source: int, into: int,
+              kind: str = "reshard_merge") -> RebalanceReport:
+        """Hand every slot (and key) of ``source`` to ``into``; the
+        source pool stays up but owns nothing and sees no new traffic."""
+        def mutate() -> None:
+            self.store.ring.merge_shards(source, into)
+            return None
+        return self._rebalance(kind, mutate)
+
+    def retire(self, shard: int, into: int) -> RebalanceReport:
+        """Decommission ``shard`` (a merge, labelled as a retirement)."""
+        return self.merge(shard, into, kind="retire")
+
+    def migrate(self, source: int, dest: int,
+                count: int = 1) -> RebalanceReport:
+        """Move ``count`` vnode slots ``source`` → ``dest`` (fine-grained
+        rebalance), transferring the keys that ride along."""
+        def mutate() -> None:
+            self.store.ring.migrate_vnodes(source, dest, count)
+            return None
+        return self._rebalance("migrate_vnodes", mutate)
+
+    def apply_event(self, event: "TimelineEvent") -> RebalanceReport:
+        """Apply one store-scoped timeline event (the ``reshard_*`` /
+        ``migrate_vnodes`` kinds a cluster-scoped install rejects)."""
+        kind, args = event.kind, event.args
+        if kind == "reshard_split":
+            return self.split(int(args["shard"]))
+        if kind == "reshard_merge":
+            return self.merge(int(args["source"]), int(args["into"]))
+        if kind == "migrate_vnodes":
+            return self.migrate(int(args["source"]), int(args["dest"]),
+                                int(args.get("count", 1)))
+        raise ValueError(f"not a store-scoped rebalance event: "
+                         f"{kind!r}")
+
+    # -- the handoff protocol ----------------------------------------------
+    def _rebalance(self, kind: str,
+                   mutate: Callable[[], Optional[int]]) -> RebalanceReport:
+        store = self.store
+        self._drain_pipeline()
+        keys = store.keys
+        before = {key: store.shard_for(key) for key in keys}
+        new_shard = mutate()
+        moved = [key for key in keys if store.shard_for(key) != before[key]]
+        transferred = self._transfer(moved, before)
+        report = RebalanceReport(
+            kind=kind, time=store.now, new_shard=new_shard,
+            sources=tuple(sorted({before[key] for key in moved})),
+            dests=tuple(sorted({store.shard_for(key) for key in moved})),
+            moved_keys=tuple(moved), transferred=tuple(transferred))
+        self.reports.append(report)
+        return report
+
+    def _drain_pipeline(self) -> None:
+        # every shard, not just the eventual sources: the migration
+        # client must be idle wherever the transfer will run, and in
+        # sorted order the drain is deterministic.
+        if self.pipeline is None:
+            return
+        for shard in range(self.store.shard_count):
+            self.pipeline.drain_shard(shard, max_events=self.max_events)
+
+    def _writer_for(self, key: str) -> str:
+        client = self.migration_client
+        return client(key) if callable(client) else client
+
+    def _transfer(self, moved: List[str],
+                  before: Dict[str, int]) -> List[str]:
+        store = self.store
+        # reads first, all on old owners (keys never materialized hold
+        # no state — the new owner lazily creates them, same as the old
+        # one would have)...
+        values: List[Tuple[str, Any]] = []
+        for key in moved:
+            source = before[key]
+            if key not in store.stores[source].keys:
+                continue
+            handle = store.stores[source].get(self._writer_for(key), key)
+            handle.meta["shard"] = source
+            store.group[source].run_ops([handle],
+                                        max_events=self.max_events)
+            if self.observe is not None:
+                self.observe(handle)
+            values.append((key, handle.result))
+        # ... then every destination clock is advanced past every source
+        # completion, so transfer writes cannot precede the reads they
+        # copy ...
+        horizon = store.now
+        for dest in sorted({store.shard_for(key) for key, _ in values}):
+            cluster = store.group[dest]
+            if cluster.now < horizon:
+                cluster.scheduler.schedule_at(horizon, _noop,
+                                              label="rebalance:align")
+                cluster.run(until=horizon)
+        # ... then the writes land on the new owners.
+        transferred: List[str] = []
+        for key, value in values:
+            dest = store.shard_for(key)
+            handle = store.stores[dest].put(self._writer_for(key), key,
+                                            value)
+            handle.meta["shard"] = dest
+            store.group[dest].run_ops([handle],
+                                      max_events=self.max_events)
+            if self.observe is not None:
+                self.observe(handle)
+            transferred.append(key)
+        return transferred

@@ -61,15 +61,21 @@ class ShardedKVStore:
         if shard_count < 1:
             raise ValueError("need at least one shard")
         self.seed = seed
+        # pool recipe, kept so joined shards are built exactly like the
+        # constructor-time ones (live resharding spawns pools later).
+        self._pool_recipe = dict(n=n, t=t, trace_backend=trace_backend,
+                                 **config_kwargs)
+        self._store_recipe = dict(client_count=client_count,
+                                  seq_bound=seq_bound,
+                                  wsn_config=wsn_config,
+                                  client_prefix=client_prefix)
         self.ring = HashRing(shard_count, vnodes=vnodes)
         self.group = ClusterGroup([
-            ClusterConfig(n=n, t=t, seed=derive_shard_seed(seed, index),
-                          trace_backend=trace_backend, **config_kwargs)
+            ClusterConfig(seed=derive_shard_seed(seed, index),
+                          **self._pool_recipe)
             for index in range(shard_count)])
         self.stores: List[StabilizingKVStore] = [
-            StabilizingKVStore(cluster, client_count=client_count,
-                               seq_bound=seq_bound, wsn_config=wsn_config,
-                               client_prefix=client_prefix)
+            StabilizingKVStore(cluster, **self._store_recipe)
             for cluster in self.group]
         self.client_pids = [f"{client_prefix}{index + 1}"
                             for index in range(client_count)]
@@ -137,6 +143,35 @@ class ShardedKVStore:
         handle = self.get(client_pid, key)
         self.run_ops([handle], max_events=max_events)
         return handle.result
+
+    # -- elasticity --------------------------------------------------------
+    def spawn_pool(self) -> int:
+        """Bring one more independent shard pool online (cluster + store)
+        at the next index, built from the constructor's recipe with the
+        usual hash-derived seed.  The pool owns **no ring slots yet** —
+        pair with a ring mutation (:class:`~repro.kvstore.rebalance
+        .Rebalancer` does both, plus the state transfer)."""
+        index = len(self.stores)
+        cluster = self.group.append(
+            ClusterConfig(seed=derive_shard_seed(self.seed, index),
+                          **self._pool_recipe))
+        self.stores.append(StabilizingKVStore(cluster,
+                                              **self._store_recipe))
+        return index
+
+    def join(self, vnodes: Optional[int] = None) -> int:
+        """Grow ``S → S + 1``: spawn a pool *and* give it ring slots.
+
+        Placement changes immediately (no state transfer) — use
+        :meth:`~repro.kvstore.rebalance.Rebalancer.join` when existing
+        keys must follow their slots to the new shard.
+        """
+        index = self.spawn_pool()
+        ring_index = self.ring.add_shard(vnodes)
+        if ring_index != index:  # pragma: no cover - construction bug
+            raise RuntimeError(f"ring allocated shard {ring_index} but "
+                               f"pool index is {index}")
+        return index
 
     # -- per-shard fault envelope ------------------------------------------
     def injector_for(self, shard: int) -> TransientFaultInjector:

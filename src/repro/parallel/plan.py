@@ -108,17 +108,18 @@ def kv_shard_plans(shard_count: int, n: int, t: int, seed: int,
                    byzantine_count: int, byzantine_strategy: str,
                    corruption_times, corruption_fraction,
                    fault_timelines, trace_backend, enforce_resilience: bool,
-                   max_events: int
+                   max_events: int, vnodes: int = 64
                    ) -> Tuple[List[ShardPlan], List[str], HashRing]:
     """Slice one kv scenario into per-shard plans.
 
     Returns ``(plans, keys, ring)`` — the ring is the same placement the
-    serial ``ShardedKVStore`` builds, so the merge step can seal each key
-    against its own shard's τ.
+    serial ``ShardedKVStore`` builds (``vnodes`` included, so ring
+    density cannot drift between the serial and parallel paths), so the
+    merge step can seal each key against its own shard's τ.
     """
     from ..workloads.scenarios import _as_timeline, _burst_fractions
 
-    ring = HashRing(shard_count)
+    ring = HashRing(shard_count, vnodes=vnodes)
     clients = [f"c{index + 1}" for index in range(client_count)]
     keys, batches = kv_op_batches(num_keys, rounds, clients)
     slices = [partition_ops(batch, lambda op: ring.shard_for(op[2]))

@@ -117,7 +117,8 @@ def run_parallel_kv(parallel: Optional[ParallelMode], shard_count: int,
                     num_keys: int, rounds: int, byzantine_count: int,
                     byzantine_strategy: str, corruption_times,
                     corruption_fraction, fault_timelines, trace_backend,
-                    enforce_resilience: bool, max_events: int):
+                    enforce_resilience: bool, max_events: int,
+                    vnodes: int = 64):
     """The kv family's shard-parallel execution path."""
     plans, keys, ring = kv_shard_plans(
         shard_count=shard_count, n=n, t=t, seed=seed,
@@ -127,7 +128,8 @@ def run_parallel_kv(parallel: Optional[ParallelMode], shard_count: int,
         corruption_times=corruption_times,
         corruption_fraction=corruption_fraction,
         fault_timelines=fault_timelines, trace_backend=trace_backend,
-        enforce_resilience=enforce_resilience, max_events=max_events)
+        enforce_resilience=enforce_resilience, max_events=max_events,
+        vnodes=vnodes)
     outcomes = ParallelScenarioRunner(plans, parallel).run()
     return merge_kv_outcomes(outcomes, keys, ring)
 

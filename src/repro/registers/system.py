@@ -223,6 +223,16 @@ class ClusterGroup:
     def __getitem__(self, index: int) -> Cluster:
         return self.clusters[index]
 
+    def append(self, config: ClusterConfig) -> Cluster:
+        """Grow the group by one freshly built member — the ``join`` of
+        live resharding (``repro.kvstore.rebalance``).  The new cluster
+        starts at local time 0 with its own scheduler/trace/network,
+        exactly as if it had been in the constructor list; callers that
+        need its clock aligned with a sibling advance it explicitly."""
+        cluster = Cluster(config)
+        self.clusters.append(cluster)
+        return cluster
+
     # -- aggregate counters ------------------------------------------------
     @property
     def messages_sent(self) -> int:

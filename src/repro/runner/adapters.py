@@ -167,12 +167,14 @@ def run_fuzz_cell(params: Dict[str, Any]) -> Sections:
     """
     # lazy import: repro.fuzz.campaign imports the runner engine, which
     # imports this module — binding at call time keeps the cycle open.
-    from ..fuzz.gen import FuzzProfile, generate_case, generate_kv_case
+    from ..fuzz.gen import (FuzzProfile, generate_case, generate_kv_case,
+                            generate_reshard_case)
     from ..fuzz.harness import run_case
 
     profile = FuzzProfile.from_dict(params.get("profile"))
-    generate = (generate_kv_case if params.get("family") == "kv"
-                else generate_case)
+    generate = {"kv": generate_kv_case,
+                "reshard": generate_reshard_case}.get(
+                    params.get("family"), generate_case)
     case = generate(int(params["seed"]), profile)
     outcome = run_case(case, backend="null")
     verdicts = {
@@ -202,6 +204,36 @@ def run_kv_cell(params: Dict[str, Any]) -> Sections:
             summary.history_digest)
 
 
+def run_reshard_cell(params: Dict[str, Any]) -> Sections:
+    """Live-resharding cell: ``ok`` = terminates + every key's post-τ
+    history linearizes straight across every handoff + every migration
+    epoch re-stabilizes (its aggregated τ exists)."""
+    result = run_scenario("reshard", **params)
+    summary = result.summarize()
+    linearizable = bool(summary.completed and result.linearizable)
+    epochs = result.epoch_taus
+    stable = all(entry["tau"] is not None for entry in epochs)
+    verdicts = {
+        "completed": summary.completed,
+        "linearizable": linearizable,
+        "stable": stable,
+        "ok": summary.completed and linearizable and stable,
+    }
+    counters = counters_from(summary)
+    counters["shards"] = result.store.shard_count
+    counters["keys"] = len(result.per_key_linearizable)
+    counters["rebalances"] = len(result.rebalances)
+    counters["keys_moved"] = sum(len(report.moved_keys)
+                                 for report in result.rebalances)
+    counters["keys_transferred"] = sum(len(report.transferred)
+                                       for report in result.rebalances)
+    timings = timings_from(summary)
+    for index, entry in enumerate(epochs):
+        if entry["tau"] is not None:
+            timings[f"epoch{index}_tau"] = float(entry["tau"])
+    return (verdicts, counters, timings, summary.history_digest)
+
+
 def run_figure1_cell(params: Dict[str, Any]) -> Sections:
     """Figure-1 cell: the regular register must invert, the atomic must not."""
     summary = run_figure1(**params).summarize()
@@ -222,4 +254,5 @@ ADAPTERS: Dict[str, Callable[[Dict[str, Any]], Sections]] = {
     "soak": run_soak_cell,
     "fuzz": run_fuzz_cell,
     "kv": run_kv_cell,
+    "reshard": run_reshard_cell,
 }

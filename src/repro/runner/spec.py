@@ -31,7 +31,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 #: scenario families the engine knows how to run (see ``adapters.py``).
 SCENARIOS = ("swsr", "mwmr", "figure1", "partition", "mobile-byz", "soak",
-             "fuzz", "kv")
+             "fuzz", "kv", "reshard")
 
 
 def derive_seed(name: str, scenario: str, params: Dict[str, Any],
@@ -175,16 +175,17 @@ def expand(specs: Union[SweepSpec, Iterable[SweepSpec]]) -> List[Cell]:
 
 
 def smoke_specs() -> List[SweepSpec]:
-    """The CI smoke sweep: 92 cells covering every scenario family.
+    """The CI smoke sweep: 100 cells covering every scenario family.
 
     Small enough to finish in seconds, broad enough to cross register
     kinds, Byzantine strategies, corruption schedules, both transports,
     sync/async timing, MWMR concurrency, the fault-timeline families
     (partition-during-write, mobile Byzantine rotation), the sharded
     KV service (1/2/4 shards, with and without bursts and a Byzantine
-    server per shard) and the streaming ``soak`` family (history-free,
-    bounded-window checking).  Every cell is expected to terminate and
-    satisfy its consistency condition (``--strict`` gates CI on that).
+    server per shard), live resharding under traffic (``reshard``) and
+    the streaming ``soak`` family (history-free, bounded-window
+    checking).  Every cell is expected to terminate and satisfy its
+    consistency condition (``--strict`` gates CI on that).
     """
     swsr = SweepSpec(
         name="smoke-swsr", scenario="swsr",
@@ -266,4 +267,19 @@ def smoke_specs() -> List[SweepSpec]:
         grid={"kind": ["regular", "atomic"]},
         seeds=[0, 1],
     )
-    return [swsr, sync, mwmr, figure1, partition, mobile, soak, kv]
+    # resharding under traffic: the default plan splits shard 0 as soon
+    # as clients issue; few vnodes keep per-slot key movement likely, so
+    # state transfer actually runs in the smoke budget.  Strict cells:
+    # per-key linearizability must hold straight across every handoff.
+    reshard = SweepSpec(
+        name="smoke-reshard", scenario="reshard",
+        base={"n": 9, "t": 1, "client_count": 2, "num_keys": 4,
+              "rounds": 2, "vnodes": 4},
+        grid={
+            "shard_count": [1, 2],
+            "corruption_times": [[], [2.0]],
+        },
+        seeds=[0, 1],
+    )
+    return [swsr, sync, mwmr, figure1, partition, mobile, soak, kv,
+            reshard]

@@ -23,7 +23,8 @@ or runs the loopback load bench.
 {'role': 'admin'}
 """
 
-from .client import KVClient, ServiceError, SyncKVClient
+from .client import (KVClient, ServiceError, ServiceUnavailableError,
+                     SyncKVClient)
 from .loadgen import LoadReport, run_loopback_load
 from .protocol import (ERROR_CODES, MAX_FRAME_BYTES, PROTOCOL_VERSION,
                        BatchOp, FrameDecoder, ProtocolError, Request,
@@ -36,7 +37,8 @@ __all__ = [
     "BatchOp", "ERROR_CODES", "FrameDecoder", "KVClient", "KVService",
     "LoadReport", "LoopbackTransport", "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION", "ProtocolError", "Request", "Response",
-    "ServiceError", "ServiceServer", "SyncKVClient", "TcpTransport",
+    "ServiceError", "ServiceServer", "ServiceUnavailableError",
+    "SyncKVClient", "TcpTransport",
     "Transport", "encode_frame", "loopback_pair", "open_tcp_transport",
     "run_loopback_load", "serve_tcp",
 ]

@@ -10,8 +10,12 @@ concurrent client tasks over one connection cheap.
 Failed transports reconnect transparently: a send that hits a dead
 connection re-dials the factory and retries the request (operations are
 register writes/reads — re-issuing is idempotent at the store level) up
-to ``max_retries`` times.  Error responses surface as
-:class:`ServiceError` carrying the protocol error code.
+to ``max_retries`` times, sleeping ``retry_delay * attempt`` between
+tries (deterministic linear backoff).  ``E_UNAVAILABLE`` responses — a
+draining server, an exhausted simulation budget — retry on the same
+schedule and, if the condition persists, give up with the typed
+:class:`ServiceUnavailableError`.  Other error responses surface
+immediately as :class:`ServiceError` carrying the protocol error code.
 
 :class:`SyncKVClient` wraps a :class:`KVClient` in a private event loop
 for scripts and REPLs that do not want to be async.
@@ -23,7 +27,8 @@ import asyncio
 from typing import Any, Awaitable, Callable, Dict, Iterable, List, Optional, \
     Sequence, Tuple, Union
 
-from .protocol import BatchOp, ProtocolError, Request, Response
+from .protocol import (BatchOp, E_UNAVAILABLE, ProtocolError, Request,
+                       Response)
 from .transport import Transport, open_tcp_transport
 
 #: batch entries accepted by :meth:`KVClient.batch`: ``("put", key,
@@ -38,6 +43,22 @@ class ServiceError(Exception):
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service stayed ``E_UNAVAILABLE`` through every retry.
+
+    Raised by :class:`KVClient` after a request drew ``E_UNAVAILABLE``
+    (draining server, exhausted simulation budget) on the initial attempt
+    *and* all ``max_retries`` deterministic-backoff retries.  Subclasses
+    :class:`ServiceError` with ``code == E_UNAVAILABLE``, so callers
+    catching the base class keep working; ``attempts`` records how many
+    tries were made.
+    """
+
+    def __init__(self, message: str, attempts: int):
+        super().__init__(E_UNAVAILABLE, message)
+        self.attempts = attempts
 
 
 def _as_batch_op(entry: BatchEntry) -> BatchOp:
@@ -182,12 +203,25 @@ class KVClient:
                 finally:
                     self._pending.pop(request.request_id, None)
                 if not response.ok:
+                    if response.error == E_UNAVAILABLE:
+                        # transient by contract (drain, budget pressure):
+                        # retry on the same deterministic backoff as a
+                        # dead transport, then give up with a typed error.
+                        last_error = ServiceError(
+                            E_UNAVAILABLE,
+                            response.message or "service unavailable")
+                        continue
                     raise ServiceError(response.error or "E_INTERNAL",
                                        response.message or "request failed")
                 return response
             except (ConnectionError, OSError) as exc:
                 last_error = exc
                 self._transport = None   # force a re-dial next attempt
+        if isinstance(last_error, ServiceError):
+            raise ServiceUnavailableError(
+                f"service still unavailable after "
+                f"{self.max_retries + 1} attempts: {last_error.message}",
+                attempts=self.max_retries + 1) from last_error
         raise ConnectionError(
             f"request failed after {self.max_retries + 1} attempts: "
             f"{last_error}") from last_error

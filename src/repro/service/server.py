@@ -109,6 +109,11 @@ class KVService:
         """Refuse new data requests (``STATS`` keeps answering)."""
         self._draining = True
 
+    def end_drain(self) -> None:
+        """Accept data requests again (a drain that did not end in
+        shutdown — e.g. load shed during a resharding handoff)."""
+        self._draining = False
+
     async def drained(self) -> None:
         """Resolves once no request is executing against the store."""
         async with self._lock:
@@ -152,7 +157,9 @@ class KVService:
             try:
                 return self._execute(request, client)
             except SimulationLimitReached as exc:
-                self.pipeline.issued.clear()
+                # flush is exception-safe: handles it could not complete
+                # stay queued in ``pipeline.issued`` and drain on the
+                # next flush, so no forced reset is needed here.
                 return Response.failure(
                     request.request_id, E_UNAVAILABLE,
                     f"simulation event budget exhausted: {exc}")

@@ -3,18 +3,20 @@
 from .engine import ScenarioEngine
 from .generators import (ClientDriver, OpSpec, ValueStream,
                          alternating_schedule, burst_schedule)
-from .scenarios import (KVScenarioResult, ScenarioResult, ScenarioSummary,
-                        history_digest, run_kv_scenario,
-                        run_mobile_byzantine_scenario, run_mwmr_scenario,
-                        run_partition_scenario, run_soak_scenario,
+from .scenarios import (KVScenarioResult, ReshardScenarioResult,
+                        ScenarioResult, ScenarioSummary, history_digest,
+                        run_kv_scenario, run_mobile_byzantine_scenario,
+                        run_mwmr_scenario, run_partition_scenario,
+                        run_reshard_scenario, run_soak_scenario,
                         run_swsr_scenario)
 from .spec import ScenarioSpec, run_scenario, scenario_families
 
 __all__ = [
-    "ClientDriver", "KVScenarioResult", "OpSpec", "ScenarioEngine",
-    "ScenarioResult", "ScenarioSpec", "ScenarioSummary", "ValueStream",
-    "alternating_schedule", "burst_schedule", "history_digest",
-    "run_kv_scenario", "run_mobile_byzantine_scenario",
-    "run_mwmr_scenario", "run_partition_scenario", "run_scenario",
-    "run_soak_scenario", "run_swsr_scenario", "scenario_families",
+    "ClientDriver", "KVScenarioResult", "OpSpec", "ReshardScenarioResult",
+    "ScenarioEngine", "ScenarioResult", "ScenarioSpec", "ScenarioSummary",
+    "ValueStream", "alternating_schedule", "burst_schedule",
+    "history_digest", "run_kv_scenario", "run_mobile_byzantine_scenario",
+    "run_mwmr_scenario", "run_partition_scenario", "run_reshard_scenario",
+    "run_scenario", "run_soak_scenario", "run_swsr_scenario",
+    "scenario_families",
 ]

@@ -25,13 +25,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..checkers.history import History
-from ..checkers.online import StreamingLinearizer
+from ..checkers.online import OnlineTauTracker, StreamingLinearizer
 from ..checkers.stabilization import StabilizationReport
 from ..checkers.stream import ObservationStream, history_digest
 from ..faults.byzantine import strategy_factory
-from ..faults.schedule import FaultTimeline
+from ..faults.schedule import RESHARD_KINDS, FaultTimeline
 from ..faults.transient import TransientFaultInjector
 from ..kvstore.pipeline import Pipeline
+from ..kvstore.rebalance import RebalanceReport, Rebalancer
 from ..kvstore.sharded import ShardedKVStore
 from ..registers.bounded_seq import WsnConfig
 from ..registers.system import (Cluster, ClusterConfig, build_mwmr,
@@ -41,10 +42,11 @@ from .engine import ScenarioEngine
 from .generators import ValueStream, alternating_schedule
 
 __all__ = [
-    "INITIAL", "KVScenarioResult", "ScenarioResult", "ScenarioSummary",
-    "history_digest", "run_kv_scenario", "run_mobile_byzantine_scenario",
-    "run_mwmr_scenario", "run_partition_scenario", "run_soak_scenario",
-    "run_swsr_scenario",
+    "INITIAL", "KVScenarioResult", "ReshardScenarioResult",
+    "ScenarioResult", "ScenarioSummary", "history_digest",
+    "run_kv_scenario", "run_mobile_byzantine_scenario",
+    "run_mwmr_scenario", "run_partition_scenario", "run_reshard_scenario",
+    "run_soak_scenario", "run_swsr_scenario",
 ]
 
 #: default register initial value, shared by every scenario family (the
@@ -88,6 +90,10 @@ class ScenarioSummary:
     stabilization_time: Optional[float] = None
     dirty_reads: Optional[int] = None
     total_reads: Optional[int] = None
+    #: per-migration-epoch τ of live-resharding runs: one
+    #: ``{"label", "start", "tau"}`` entry per rebalance handoff
+    #: (``None`` for every other family).
+    epoch_taus: Optional[Tuple[Dict[str, Any], ...]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict rendering (JSON-ready, stable key order)."""
@@ -95,6 +101,9 @@ class ScenarioSummary:
             "completed": self.completed,
             "corruptions": self.corruptions,
             "dirty_reads": self.dirty_reads,
+            "epoch_taus": (None if self.epoch_taus is None
+                           else [dict(sorted(entry.items()))
+                                 for entry in self.epoch_taus]),
             "events_processed": self.events_processed,
             "history_digest": self.history_digest,
             "messages_sent": self.messages_sent,
@@ -595,7 +604,7 @@ class KVScenarioResult:
 def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
                     seed: int = 0, client_count: int = 2,
                     num_keys: int = 4, rounds: int = 2,
-                    pipelined: bool = True,
+                    pipelined: bool = True, vnodes: int = 64,
                     byzantine_count: int = 0,
                     byzantine_strategy: str = "random-garbage",
                     corruption_times: Sequence[float] = (),
@@ -656,6 +665,8 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
     """
     if rounds < 1:
         raise ValueError("need at least one workload round")
+    if vnodes < 1:
+        raise ValueError("need at least one virtual node per shard")
     if parallel is not None:
         if not pipelined:
             raise ValueError(
@@ -666,7 +677,8 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
         return run_parallel_kv(
             parallel=parallel, shard_count=shard_count, n=n, t=t,
             seed=seed, client_count=client_count, num_keys=num_keys,
-            rounds=rounds, byzantine_count=byzantine_count,
+            rounds=rounds, vnodes=vnodes,
+            byzantine_count=byzantine_count,
             byzantine_strategy=byzantine_strategy,
             corruption_times=corruption_times,
             corruption_fraction=corruption_fraction,
@@ -674,7 +686,8 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
             enforce_resilience=enforce_resilience, max_events=max_events)
     store = ShardedKVStore(
         shard_count=shard_count, n=n, t=t, seed=seed,
-        client_count=client_count, trace_backend=trace_backend,
+        client_count=client_count, vnodes=vnodes,
+        trace_backend=trace_backend,
         enforce_resilience=enforce_resilience)
     clients = store.client_pids
     keys = [f"k{index}" for index in range(num_keys)]
@@ -706,8 +719,9 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
                     handle.on_done(stream.observe_handle)
                     store.run_ops([handle], max_events=max_events)
         except SimulationLimitReached:
-            if pipe is not None:
-                pipe.issued.clear()
+            # flush is resumable (handles that completed were detached
+            # and annotated on the exception); this scenario stops the
+            # workload instead, reporting completed=False.
             return False
         # a drained batch is a quiesce point: nothing is in flight, so
         # the linearizer can collapse settled segments (bounded memory).
@@ -783,6 +797,355 @@ def run_kv_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
         per_key_linearizable=per_key, stream=stream,
         extra={"corruptions": corruptions, "pipeline": pipe,
                "keys": keys, "linearizer": linearizer})
+
+
+@dataclass
+class ReshardScenarioResult:
+    """Result of a live-resharding run: a KV run whose ring changed.
+
+    Everything :class:`KVScenarioResult` carries, plus the migration
+    record: ``rebalances`` (one :class:`~repro.kvstore.rebalance
+    .RebalanceReport` per applied plan event, in application order) and
+    ``epoch_taus`` (per-migration-epoch τ — for each handoff, the
+    instant from which every key's reads are consistent again, ``None``
+    if violations persisted to the end of the stream).
+    """
+
+    store: ShardedKVStore
+    history: Optional[History]
+    completed: bool
+    tau_no_tr: float = 0.0
+    tau_by_shard: List[float] = field(default_factory=list)
+    per_key_linearizable: Dict[str, bool] = field(default_factory=dict)
+    rebalances: List[RebalanceReport] = field(default_factory=list)
+    epoch_taus: List[Dict[str, Any]] = field(default_factory=list)
+    stream: Optional[ObservationStream] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def linearizable(self) -> bool:
+        return all(self.per_key_linearizable.values())
+
+    @property
+    def messages_sent(self) -> int:
+        return self.store.messages_sent
+
+    def summarize(self) -> ScenarioSummary:
+        """The shared picklable summary; ``stable`` carries the
+        all-keys-linearizable-across-handoffs verdict and
+        ``epoch_taus`` the per-migration-epoch τ timeline."""
+        ops, writes, reads, digest = _stream_counters(self.stream,
+                                                      self.history)
+        return ScenarioSummary(
+            completed=self.completed,
+            tau_no_tr=self.tau_no_tr,
+            ops=ops,
+            writes=writes,
+            reads=reads,
+            messages_sent=self.store.messages_sent,
+            events_processed=self.store.events_processed,
+            sim_end=self.store.now,
+            corruptions=int(self.extra.get("corruptions", 0)),
+            history_digest=digest,
+            stable=self.completed and self.linearizable,
+            epoch_taus=tuple(dict(entry) for entry in self.epoch_taus),
+        )
+
+
+def _reshard_plan(reshard_plan: Optional[Union[dict, FaultTimeline]],
+                  shard_count: int) -> List[Any]:
+    """Validate and order a resharding plan's events.
+
+    Only store-scoped kinds are allowed (cluster-scoped faults belong in
+    ``fault_timelines``), and every referenced shard index must exist by
+    the time its event applies — splits allocate indices in event order,
+    so the check replays that allocation statically.
+    """
+    if reshard_plan is None:
+        plan = FaultTimeline().reshard_split(0.0, 0)
+    else:
+        plan = _as_timeline(reshard_plan)
+    bad = sorted({event.kind for event in plan.events
+                  if event.kind not in RESHARD_KINDS})
+    if bad:
+        raise ValueError(
+            f"reshard_plan may only contain store-scoped rebalance "
+            f"events {sorted(RESHARD_KINDS)}, got {bad}; put per-shard "
+            f"fault events in fault_timelines instead")
+    events = sorted(plan.events, key=lambda event: event.time)
+    allocated = shard_count
+    for event in events:
+        if event.kind == "reshard_split":
+            referenced = [int(event.args["shard"])]
+        elif event.kind == "reshard_merge":
+            referenced = [int(event.args["source"]),
+                          int(event.args["into"])]
+        else:
+            referenced = [int(event.args["source"]),
+                          int(event.args["dest"])]
+        out_of_range = [shard for shard in referenced
+                        if not 0 <= shard < allocated]
+        if out_of_range:
+            raise ValueError(
+                f"reshard_plan event {event.kind!r} at t={event.time} "
+                f"references shard(s) {out_of_range} but only "
+                f"{allocated} shard(s) exist at that point")
+        if event.kind == "reshard_split":
+            allocated += 1
+    return events
+
+
+def run_reshard_scenario(shard_count: int = 2, n: int = 9, t: int = 1,
+                         seed: int = 0, client_count: int = 2,
+                         num_keys: int = 4, rounds: int = 2,
+                         vnodes: int = 16,
+                         reshard_plan: Optional[Union[dict,
+                                                      FaultTimeline]] = None,
+                         byzantine_count: int = 0,
+                         byzantine_strategy: str = "random-garbage",
+                         corruption_times: Sequence[float] = (),
+                         corruption_fraction: Union[
+                             float, Sequence[float]] = 0.2,
+                         fault_timelines: Optional[Dict[Any, Any]] = None,
+                         strict: bool = False,
+                         trace_backend: Optional[str] = "null",
+                         enforce_resilience: bool = True,
+                         max_events: int = 6_000_000
+                         ) -> ReshardScenarioResult:
+    """Reshard a live KV store under traffic (the ``reshard`` family).
+
+    The :func:`run_kv_scenario` workload — create keys, install the
+    fault envelope, then rounds of put-barrier/get-barrier batches —
+    except that each key's writes all come from one designated writer
+    client (reads still rotate over every client): the per-key online τ
+    trackers are single-writer checkers, and the rebalancer issues each
+    moved key's transfer ops from that same writer.  The addition is a
+    ``reshard_plan`` (a :class:`~repro.faults
+    .schedule.FaultTimeline` of ``reshard_split`` / ``reshard_merge`` /
+    ``migrate_vnodes`` events) reshapes the ring *while clients issue*.
+    Each plan event applies at the first batch whose group clock has
+    reached its time (leftovers apply after the last round): operations
+    already enqueued drain on their old owners, the
+    :class:`~repro.kvstore.rebalance.Rebalancer` transfers the moved
+    keys' state through real quorum operations fed to the observation
+    stream, and the next batch routes to the new owners — the
+    dual-ownership window is explicit in the history, and the
+    :class:`~repro.checkers.online.StreamingLinearizer` hard-checks
+    every ``kv/{key}`` lane straight across the handoff (``strict=True``
+    raises on any per-key violation).
+
+    Each applied rebalance opens a *migration epoch*: per-key
+    :class:`~repro.checkers.online.OnlineTauTracker` instances record
+    the boundary (:meth:`~repro.checkers.online.OnlineTauTracker
+    .begin_epoch`) and the result's ``epoch_taus`` reports, per epoch,
+    the instant from which every key's reads are consistent again — the
+    paper's τ, measured per ownership change instead of per transient
+    burst.  A final read-all batch after the last rebalance guarantees
+    every handoff is observed.
+
+    The default plan splits shard 0 as soon as traffic starts.  The run
+    is deterministic end to end — byte-identical summaries for any
+    sweep worker count (the CI ``reshard-smoke`` job's guard).
+
+    >>> result = run_reshard_scenario(shard_count=2, num_keys=2,
+    ...                               rounds=1, seed=3)
+    >>> result.completed and result.linearizable
+    True
+    >>> [report.kind for report in result.rebalances]
+    ['reshard_split']
+    >>> result.store.shard_count
+    3
+    >>> entry = result.summarize().epoch_taus[0]
+    >>> entry["tau"] is not None
+    True
+    """
+    if rounds < 1:
+        raise ValueError("need at least one workload round")
+    if vnodes < 1:
+        raise ValueError("need at least one virtual node per shard")
+    plan_events = _reshard_plan(reshard_plan, shard_count)
+    store = ShardedKVStore(
+        shard_count=shard_count, n=n, t=t, seed=seed,
+        client_count=client_count, vnodes=vnodes,
+        trace_backend=trace_backend,
+        enforce_resilience=enforce_resilience)
+    clients = store.client_pids
+    keys = [f"k{index}" for index in range(num_keys)]
+    # per-register online τ trackers are single-writer: every key gets a
+    # designated writer client (spread round-robin over the pool), and
+    # reads rotate over *all* clients.  The rebalancer issues each moved
+    # key's transfer ops from that same writer, so the ``kv/{key}`` lane
+    # stays SWSR straight across every handoff.
+    writer_of = {key: clients[index % len(clients)]
+                 for index, key in enumerate(keys)}
+    for cluster in store.group:
+        _install_byzantine(cluster, None, byzantine_count,
+                           byzantine_strategy)
+
+    values = ValueStream()
+    linearizer = StreamingLinearizer()
+    trackers = {key: OnlineTauTracker(mode="atomic",
+                                      register=f"kv/{key}")
+                for key in keys}
+    by_register = {f"kv/{key}": tracker
+                   for key, tracker in trackers.items()}
+    stream = ObservationStream(checkers=[linearizer], keep_history=True)
+
+    def observe_workload(handle: Any) -> None:
+        op = stream.observe_handle(handle)
+        if op is not None:
+            tracker = by_register.get(op.register)
+            if tracker is not None:
+                tracker.observe(op)
+
+    # state-transfer operations are checker-visible — they enter the
+    # history, the digest and the linearizer (value-set semantics) — but
+    # *not* the τ trackers: a transfer re-writes the key's current value,
+    # and the single-writer trackers require unique written values.
+    # Skipping it is sound: later reads return exactly the last write the
+    # tracker did observe.
+    pipe = Pipeline(store, on_complete=observe_workload)
+    rebalancer = Rebalancer(store, pipeline=pipe,
+                            observe=stream.observe_handle,
+                            migration_client=lambda key: writer_of.get(
+                                key, clients[0]),
+                            max_events=max_events)
+
+    tau_by_shard = [0.0] * shard_count
+    pending = list(plan_events)
+    epoch_marks: List[Tuple[str, float]] = []
+
+    def apply_due(force: bool = False) -> None:
+        while pending and (force or store.now >= pending[0].time):
+            event = pending.pop(0)
+            report = rebalancer.apply_event(event)
+            label = f"{event.kind}#{len(rebalancer.reports)}"
+            epoch_marks.append((label, report.time))
+            for tracker in trackers.values():
+                tracker.begin_epoch(report.time, label)
+            while len(tau_by_shard) < store.shard_count:
+                tau_by_shard.append(0.0)
+
+    def batch(ops: List[Tuple[str, str, str, Optional[Any]]],
+              rebalance: bool = False) -> bool:
+        try:
+            for kind, client, key, value in ops:
+                if kind == "put":
+                    pipe.put(client, key, value)
+                else:
+                    pipe.get(client, key)
+            if rebalance:
+                # mid-batch: enqueued operations are in flight — the
+                # rebalance drains them on their pre-mutation owners.
+                apply_due()
+            pipe.flush(max_events=max_events)
+        except SimulationLimitReached:
+            return False
+        linearizer.settle()
+        return True
+
+    # -- phase 1: create every key (pre-rebalance placement) ---------------
+    completed = batch([("put", writer_of[key], key, values.next())
+                       for key in keys])
+
+    # -- phase 2: the fault envelope, anchored per (initial) shard ---------
+    corruptions = 0
+    if completed and (corruption_times or fault_timelines):
+        fractions = _burst_fractions(corruption_times, corruption_fraction)
+        timelines = {int(shard): _as_timeline(timeline)
+                     for shard, timeline in (fault_timelines or {}).items()}
+        out_of_range = sorted(shard for shard in timelines
+                              if not 0 <= shard < shard_count)
+        if out_of_range:
+            raise ValueError(
+                f"fault_timelines reference shards {out_of_range} but the "
+                f"store has {shard_count} shard(s); a silently dropped "
+                "timeline would fake a fault-free verdict")
+        for shard in range(shard_count):
+            cluster = store.group[shard]
+            injector = store.injector_for(shard)
+            anchor = cluster.now
+            tau_local = anchor
+            for time, fraction in zip(corruption_times, fractions):
+                injector.at(anchor + time,
+                            lambda cluster=cluster, fraction=fraction,
+                            injector=injector: injector.corrupt_all(
+                                cluster.servers, fraction))
+                tau_local = max(tau_local, anchor + time)
+            timeline = timelines.get(shard)
+            if timeline is not None:
+                installed = store.install_timeline(shard, timeline,
+                                                   anchor=anchor)
+                tau_local = max(tau_local, installed.tau_no_tr)
+            tau_by_shard[shard] = tau_local
+        for shard in range(shard_count):
+            store.group[shard].run(until=tau_by_shard[shard] + 1.0)
+        corruptions = sum(injector.corruptions
+                          for injector in store._injectors.values())
+    tau_no_tr = max(tau_by_shard)
+
+    # sealing happens before any rebalance: each key's cutoff is its
+    # *initial* owner's τ, so every post-fault op — the whole handoff
+    # window included — is hard-checked by the linearizer.
+    for key in keys:
+        linearizer.seal(f"kv/{key}", tau_by_shard[store.shard_for(key)])
+
+    # -- phase 3: workload rounds with live rebalances ---------------------
+    for round_index in range(rounds):
+        if not completed:
+            break
+        completed = batch([
+            ("put", writer_of[key], key, values.next())
+            for key in keys], rebalance=True)
+        if not completed:
+            break
+        completed = batch([
+            ("get", clients[(round_index + index + 1) % len(clients)], key,
+             None)
+            for index, key in enumerate(keys)], rebalance=True)
+
+    # plan events the clock never reached apply now, then a final
+    # read-all batch observes every handoff.
+    if completed and pending:
+        try:
+            apply_due(force=True)
+        except SimulationLimitReached:
+            completed = False
+    if completed:
+        completed = batch([
+            ("get", clients[(rounds + index) % len(clients)], key, None)
+            for index, key in enumerate(keys)])
+
+    stream.close()
+    for tracker in trackers.values():
+        tracker.finish()
+    per_key = {key: bool(linearizer.ok(f"kv/{key}")) for key in keys}
+
+    # per-epoch τ: aggregate the per-key trackers — the epoch is stable
+    # from the latest instant at which *every* key's suffix is clean.
+    per_key_epochs = {key: trackers[key].epoch_taus() for key in keys}
+    epoch_taus: List[Dict[str, Any]] = []
+    for index, (label, start) in enumerate(epoch_marks):
+        taus = [per_key_epochs[key][index]["tau"] for key in keys]
+        tau = None if any(value is None for value in taus) \
+            else (max(taus) if taus else start)
+        epoch_taus.append({"label": label, "start": start, "tau": tau})
+
+    if strict and completed:
+        violated = sorted(key for key, ok in per_key.items() if not ok)
+        if violated:
+            raise AssertionError(
+                f"per-key linearizability violated across rebalance "
+                f"handoffs for {violated}")
+    return ReshardScenarioResult(
+        store=store, history=stream.history, completed=completed,
+        tau_no_tr=tau_no_tr, tau_by_shard=tau_by_shard,
+        per_key_linearizable=per_key,
+        rebalances=list(rebalancer.reports), epoch_taus=epoch_taus,
+        stream=stream,
+        extra={"corruptions": corruptions, "pipeline": pipe,
+               "keys": keys, "linearizer": linearizer,
+               "trackers": trackers, "rebalancer": rebalancer})
 
 
 def run_mobile_byzantine_scenario(kind: str = "regular", n: int = 9,
@@ -1097,6 +1460,7 @@ _run_swsr_scenario = run_swsr_scenario
 _run_mwmr_scenario = run_mwmr_scenario
 _run_partition_scenario = run_partition_scenario
 _run_kv_scenario = run_kv_scenario
+_run_reshard_scenario = run_reshard_scenario
 _run_mobile_byzantine_scenario = run_mobile_byzantine_scenario
 _run_soak_scenario = run_soak_scenario
 
@@ -1124,6 +1488,7 @@ run_mwmr_scenario = _deprecated_entry(_run_mwmr_scenario, "mwmr")
 run_partition_scenario = _deprecated_entry(_run_partition_scenario,
                                            "partition")
 run_kv_scenario = _deprecated_entry(_run_kv_scenario, "kv")
+run_reshard_scenario = _deprecated_entry(_run_reshard_scenario, "reshard")
 run_mobile_byzantine_scenario = _deprecated_entry(
     _run_mobile_byzantine_scenario, "mobile-byz")
 run_soak_scenario = _deprecated_entry(_run_soak_scenario, "soak")

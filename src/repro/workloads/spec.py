@@ -20,8 +20,8 @@ sweep.  :func:`run_scenario` is the call-shaped convenience;
 ``ScenarioEngine.run_spec`` is the same thing reachable from the engine.
 
 Families (aliases in parentheses): ``swsr``, ``mwmr``, ``partition``,
-``kv``, ``mobile-byz`` (``mobile-byzantine``, ``mobile_byzantine``),
-``soak``.
+``kv``, ``reshard``, ``mobile-byz`` (``mobile-byzantine``,
+``mobile_byzantine``), ``soak``.
 """
 
 from __future__ import annotations
@@ -40,6 +40,7 @@ FAMILIES: Dict[str, Callable[..., Any]] = {
     "mwmr": _scenarios._run_mwmr_scenario,
     "partition": _scenarios._run_partition_scenario,
     "kv": _scenarios._run_kv_scenario,
+    "reshard": _scenarios._run_reshard_scenario,
     "mobile-byz": _scenarios._run_mobile_byzantine_scenario,
     "soak": _scenarios._run_soak_scenario,
 }

@@ -19,7 +19,8 @@ def workflow():
 def test_workflow_parses_and_has_jobs(workflow):
     assert set(workflow["jobs"]) == {"lint", "test", "perf-smoke",
                                      "parallel-sim", "fuzz-smoke",
-                                     "service-smoke", "docs"}
+                                     "service-smoke", "reshard-smoke",
+                                     "docs"}
     # "on" parses as YAML true; accept either spelling
     assert True in workflow or "on" in workflow
 
@@ -115,6 +116,26 @@ def test_fuzz_smoke_job_covers_the_kv_family(workflow):
                     for step in workflow["jobs"]["fuzz-smoke"]["steps"])
     assert "--family kv" in runs
     assert "fuzz-kv-results.json" in runs
+
+
+def test_reshard_smoke_job_gates_sweep_fuzz_and_uploads(workflow):
+    steps = workflow["jobs"]["reshard-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    # the strict reshard sweep with its 1-vs-4-worker byte-identity
+    # guard ...
+    assert "reshard" in runs
+    assert "run_sweep" in runs
+    assert "workers" in runs and "cmp" in runs
+    # ... the reshard fuzz arm with its own determinism guard ...
+    assert "--family reshard" in runs
+    assert "reshard-fuzz.json" in runs
+    # ... and results + shrunk replays uploaded (also on failure).
+    uploads = [step for step in steps
+               if "upload-artifact" in step.get("uses", "")]
+    assert uploads, "reshard artifact upload step missing"
+    assert uploads[0]["if"] == "always()"
+    assert "reshard-results.json" in uploads[0]["with"]["path"]
+    assert "reshard-fuzz-artifacts/" in uploads[0]["with"]["path"]
 
 
 def test_service_smoke_job_gates_load_and_digests(workflow):

@@ -7,7 +7,7 @@ from repro.kvstore import (HashRing, Pipeline, build_kv_store,
                            build_sharded_kv_store, derive_shard_seed,
                            partition_ops, shard_router)
 from repro.registers.system import ClusterConfig, ClusterGroup
-from repro.sim.errors import OperationError
+from repro.sim.errors import OperationError, SimulationLimitReached
 
 
 class TestHashRing:
@@ -36,6 +36,90 @@ class TestHashRing:
             HashRing(0)
         with pytest.raises(ValueError):
             HashRing(2, vnodes=0)
+
+    def test_live_grow_moves_about_one_over_s_plus_one(self):
+        """``add_shard`` on a *live* ring must match the from-scratch
+        consistency property: ~1/(S+1) of the keys move, every one of
+        them *to* the new shard."""
+        ring = HashRing(4)
+        keys = [f"key{index}" for index in range(600)]
+        before = {key: ring.shard_for(key) for key in keys}
+        new = ring.add_shard()
+        moved = [key for key in keys if ring.shard_for(key) != before[key]]
+        assert 0 < len(moved) < len(keys) * 0.4   # ~1/5 expected
+        assert all(ring.shard_for(key) == new for key in moved)
+
+    def test_split_moves_only_the_split_shards_keys(self):
+        ring = HashRing(4)
+        keys = [f"key{index}" for index in range(600)]
+        before = {key: ring.shard_for(key) for key in keys}
+        victim = 1
+        new = ring.split_shard(victim)
+        for key in keys:
+            after = ring.shard_for(key)
+            if after != before[key]:
+                assert before[key] == victim and after == new
+        # roughly half the victim's keys should have moved
+        victims = [key for key in keys if before[key] == victim]
+        moved = [key for key in victims if ring.shard_for(key) != victim]
+        assert 0 < len(moved) < len(victims)
+
+    def test_split_then_merge_round_trips_points_table(self):
+        """``split_shard`` followed by ``merge_shards(new, into=old)``
+        must restore the identical placement table — the ring algebra's
+        invertibility, which makes shrink/replay of reshard plans
+        meaningful."""
+        ring = HashRing(3, vnodes=8)
+        table = ring.points_table()
+        new = ring.split_shard(2)
+        assert ring.points_table() != table
+        ring.merge_shards(new, into=2)
+        assert ring.points_table() == table
+        keys = [f"key{index}" for index in range(200)]
+        fresh = HashRing(3, vnodes=8)
+        assert [ring.shard_for(key) for key in keys] == \
+            [fresh.shard_for(key) for key in keys]
+
+    def test_mutations_validate_their_arguments(self):
+        ring = HashRing(2, vnodes=1)
+        with pytest.raises(ValueError):
+            ring.split_shard(0)            # one slot cannot split
+        with pytest.raises(ValueError):
+            ring.merge_shards(1, into=1)   # self-merge
+        with pytest.raises(ValueError):
+            ring.migrate_vnodes(0, 0, 1)   # self-migrate
+        with pytest.raises(ValueError):
+            ring.migrate_vnodes(0, 1, 5)   # more slots than owned
+        with pytest.raises(ValueError):
+            ring.split_shard(7)            # out of range
+        ring.merge_shards(0, into=1)
+        with pytest.raises(ValueError):
+            ring.merge_shards(0, into=1)   # already retired
+
+    def test_placement_is_stable_across_hashseed_processes(self):
+        """Ring placement (including after mutations) must not depend on
+        PYTHONHASHSEED — the ring is SHA-256-based, never ``hash()``."""
+        import os
+        import subprocess
+        import sys
+        script = (
+            "from repro.kvstore import HashRing\n"
+            "ring = HashRing(3, vnodes=8)\n"
+            "new = ring.split_shard(0)\n"
+            "ring.migrate_vnodes(1, new, 2)\n"
+            "print([ring.shard_for(f'key{i}') for i in range(64)])\n")
+        outputs = set()
+        for hashseed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, [os.path.join(os.path.dirname(__file__),
+                                           os.pardir, "src"),
+                              env.get("PYTHONPATH")]))
+            result = subprocess.run([sys.executable, "-c", script],
+                                    capture_output=True, text=True,
+                                    env=env, check=True)
+            outputs.add(result.stdout)
+        assert len(outputs) == 1
 
 
 class TestShardSeeds:
@@ -300,3 +384,28 @@ class TestPipeline:
                     store.messages_sent)
 
         assert run() == run()
+
+    def test_flush_is_exception_safe_and_resumable(self):
+        """A budget-exhausted flush must hand back what completed
+        (``exc.drained``), keep the rest queued, and let a retrying
+        caller see every handle exactly once — the contract that lets
+        the service layer drop its forced ``issued.clear()`` reset."""
+        store = build_sharded_kv_store(shard_count=2, seed=13)
+        pipe = Pipeline(store)
+        handles = [pipe.put("c1", f"k{index}", index) for index in range(6)]
+        with pytest.raises(SimulationLimitReached) as excinfo:
+            pipe.flush(max_events=40)       # far too small to drain all
+        partial = excinfo.value.drained
+        assert all(handle.done for handle in partial)
+        assert all(not handle.done for handle in pipe.issued)
+        assert len(partial) + len(pipe.issued) == len(handles)
+        # the retry picks up exactly the unfinished remainder ...
+        remainder = pipe.flush()
+        assert remainder and all(handle.done for handle in remainder)
+        seen = partial + remainder
+        assert sorted(seen, key=id) == sorted(handles, key=id)
+        assert not (set(map(id, partial)) & set(map(id, remainder)))
+        # ... and the writes all landed.
+        reads = [pipe.get("c2", f"k{index}") for index in range(6)]
+        pipe.flush()
+        assert [read.result for read in reads] == list(range(6))

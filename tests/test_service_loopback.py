@@ -11,7 +11,8 @@ import threading
 import pytest
 
 from repro.service import (KVClient, KVService, ServiceError, ServiceServer,
-                           SyncKVClient, run_loopback_load, serve_tcp)
+                           ServiceUnavailableError, SyncKVClient,
+                           run_loopback_load, serve_tcp)
 from repro.service.protocol import (E_BAD_REQUEST, E_UNAVAILABLE, E_VERSION,
                                     PROTOCOL_VERSION, Request, Response)
 
@@ -183,6 +184,87 @@ class TestDrain:
         stats, code = run(main())
         assert stats["draining"] is True
         assert code == E_UNAVAILABLE
+
+    def test_persistent_unavailable_raises_typed_give_up(self):
+        async def main():
+            server = make_server()
+            client = KVClient.loopback(server, max_retries=2,
+                                       retry_delay=0)
+            await client.connect()
+            server.service.begin_drain()
+            with pytest.raises(ServiceUnavailableError) as excinfo:
+                await client.get("k")
+            await client.close()
+            await server.shutdown()
+            return excinfo.value
+
+        error = run(main())
+        assert error.code == E_UNAVAILABLE
+        assert error.attempts == 3          # initial try + max_retries
+        assert isinstance(error, ServiceError)
+
+    def test_retry_recovers_once_drain_lifts(self):
+        async def main():
+            server = make_server()
+            client = KVClient.loopback(server, max_retries=5,
+                                       retry_delay=0.01)
+            await client.connect()
+            await client.put("k", "survives")
+            server.service.begin_drain()
+
+            async def lift():
+                await asyncio.sleep(0.02)
+                server.service.end_drain()
+
+            lifter = asyncio.ensure_future(lift())
+            value = await client.get("k")   # retried through the blip
+            await lifter
+            await client.close()
+            await server.shutdown()
+            return value
+
+        assert run(main()) == "survives"
+
+    def test_drain_under_load_fails_only_with_unavailable(self):
+        # concurrent writers racing a drain: every request either
+        # completes normally or gives up with the typed unavailable
+        # error — no other failure mode, and every acknowledged write
+        # really is in the store.
+        async def main():
+            server = make_server()
+            client = KVClient.loopback(server, max_retries=1,
+                                       retry_delay=0)
+
+            async def writer(index):
+                if index == 8:
+                    server.service.begin_drain()
+                    return None
+                return await client.batch([("put", f"k{index}", index),
+                                           ("get", f"k{index}")])
+
+            results = await asyncio.gather(
+                *(writer(index) for index in range(16)),
+                return_exceptions=True)
+            server.service.end_drain()
+            acknowledged = {index: outcome
+                            for index, outcome in enumerate(results)
+                            if index != 8
+                            and not isinstance(outcome, Exception)}
+            readback = {index: await client.get(f"k{index}")
+                        for index in acknowledged}
+            await client.close()
+            await server.shutdown()
+            return results, acknowledged, readback
+
+        results, acknowledged, readback = run(main())
+        failures = [outcome for outcome in results
+                    if isinstance(outcome, Exception)]
+        for failure in failures:
+            assert isinstance(failure, ServiceUnavailableError)
+            assert failure.code == E_UNAVAILABLE
+        for index, outcome in acknowledged.items():
+            assert outcome == [None, index]          # batch echoed the put
+            assert readback[index] == index          # and it is durable
 
     def test_shutdown_is_idempotent(self):
         async def main():

@@ -16,6 +16,8 @@ QUICK_PARAMS = {
     "mwmr": dict(m=2, seed=3, ops_per_process=1),
     "partition": dict(seed=3, num_writes=2, num_reads=2),
     "kv": dict(shard_count=2, num_keys=2, rounds=1, seed=3),
+    "reshard": dict(shard_count=2, num_keys=2, rounds=1, seed=3,
+                    vnodes=4),
     "mobile-byz": dict(seed=3, rotations=1, num_writes=2, num_reads=2),
     "soak": dict(seed=3, num_writes=6, num_reads=6),
 }
@@ -25,6 +27,7 @@ SHIMS = {
     "mwmr": scenarios.run_mwmr_scenario,
     "partition": scenarios.run_partition_scenario,
     "kv": scenarios.run_kv_scenario,
+    "reshard": scenarios.run_reshard_scenario,
     "mobile-byz": scenarios.run_mobile_byzantine_scenario,
     "soak": scenarios.run_soak_scenario,
 }
