@@ -28,9 +28,18 @@ submodule layouts underneath may shift.  The surface groups into:
   deprecation shims);
 * **runner** — parameter sweeps (:func:`run_sweep`);
 * **service** — the asyncio KV service layer (:class:`KVService`,
-  :class:`KVClient`, :func:`run_loopback_load`).
+  :class:`KVClient`, :func:`run_loopback_load`);
+* **capture** — universal trace record/replay and live soak metrics
+  (:func:`record_scenario`, :func:`replay_capture`,
+  :class:`MetricsEmitter`; see :mod:`repro.capture`).
 """
 
+from .capture import (CaptureError, CaptureFormatError, CaptureReader,
+                      CaptureSink, CorruptCaptureError, MetricsEmitter,
+                      ReplayMismatchError, ReplayReport,
+                      TruncatedCaptureError, capturing, load_capture,
+                      record_scenario, replay_capture,
+                      replay_service_capture, verify_capture)
 from .checkers import (History, ObservationStream, Operation,
                        check_atomic_swsr, check_linearizable,
                        check_regularity, find_new_old_inversions,
@@ -90,4 +99,10 @@ __all__ = [
     "KVClient", "KVService", "LoadReport", "ServiceError", "ServiceServer",
     "ServiceUnavailableError", "SyncKVClient", "run_loopback_load",
     "serve_tcp",
+    # capture / replay / metrics
+    "CaptureError", "CaptureFormatError", "CaptureReader", "CaptureSink",
+    "CorruptCaptureError", "MetricsEmitter", "ReplayMismatchError",
+    "ReplayReport", "TruncatedCaptureError", "capturing", "load_capture",
+    "record_scenario", "replay_capture", "replay_service_capture",
+    "verify_capture",
 ]

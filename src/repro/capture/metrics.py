@@ -1,0 +1,200 @@
+"""Soak observability: periodic JSON-lines metrics + first-violation alert.
+
+A :class:`MetricsEmitter` rides an
+:class:`~repro.checkers.stream.ObservationStream` like any other online
+checker and emits one snapshot line every ``every`` units of *simulated*
+time: throughput (ops / ops-per-sim-second), per-register τ_stab read
+off every attached :class:`~repro.checkers.online.OnlineTauTracker`,
+live window occupancy (how many operations the streaming checkers are
+holding — flat occupancy is the bounded-memory invariant made visible)
+and the running violation count across
+``OnlineTauTracker`` / ``OnlineInversionDetector`` /
+``StreamingLinearizer`` sources.
+
+The ``alert_on_violation`` callback fires **exactly once**, the moment
+the total violation count first leaves zero, together with an
+``"alert": true`` snapshot — so a soak's metrics file can be watched (or
+grepped) for the instant a checker flipped.  A final snapshot
+(``"final": true``) is always emitted when the stream closes.
+
+Snapshots are plain JSON objects, one per line, with sorted keys and
+monotonically non-decreasing ``t`` — greppable and ``tail``-able:
+
+>>> from repro.checkers.history import Operation
+>>> from repro.checkers.online import OnlineTauTracker
+>>> from repro.checkers.stream import ObservationStream
+>>> emitter = MetricsEmitter(every=5.0)
+>>> stream = ObservationStream(checkers=[OnlineTauTracker("regular"),
+...                                      emitter])
+>>> _ = emitter.bind(stream)
+>>> for i in range(4):
+...     _ = stream.observe(Operation("write", "w", f"w{i}",
+...                                  1.0 + 3 * i, 2.0 + 3 * i))
+>>> stream.close()
+>>> [snap["ops"] for snap in emitter.snapshots]
+[3, 4]
+>>> emitter.snapshots[-1]["final"]
+True
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import (Any, Callable, Dict, IO, List, Optional, Union)
+
+from ..checkers.online import (OnlineChecker, OnlineInversionDetector,
+                               OnlineRegularityChecker, OnlineTauTracker,
+                               StreamingLinearizer)
+from ..checkers.history import Operation
+
+#: Snapshot cadence (simulated time units) when only an output path was
+#: configured.
+DEFAULT_EVERY = 100.0
+
+
+def _violations_of(checker: Any) -> int:
+    if isinstance(checker, OnlineTauTracker):
+        return checker.violation_count
+    if isinstance(checker, OnlineRegularityChecker):
+        return checker.violation_count
+    if isinstance(checker, OnlineInversionDetector):
+        return checker.inversion_count
+    if isinstance(checker, StreamingLinearizer):
+        return sum(1 for ok in checker.verdicts().values() if not ok)
+    return 0
+
+
+def _occupancy_of(checker: Any) -> int:
+    return int(getattr(checker, "window_occupancy", 0))
+
+
+class MetricsEmitter(OnlineChecker):
+    """Periodic metrics snapshots over a live observation stream."""
+
+    def __init__(self, every: Optional[float] = None,
+                 out: Union[str, os.PathLike, IO[str], None] = None,
+                 alert_on_violation: Optional[
+                     Callable[[Dict[str, Any]], None]] = None):
+        if every is not None and not every > 0:
+            raise ValueError(f"metrics cadence must be positive: {every}")
+        self.every = float(every) if every is not None else DEFAULT_EVERY
+        if isinstance(out, (str, os.PathLike)):
+            self._file: Optional[IO[str]] = open(out, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = out
+            self._owns_file = out is not None
+        self.alert_on_violation = alert_on_violation
+        #: every snapshot emitted, in order (also written to ``out``).
+        self.snapshots: List[Dict[str, Any]] = []
+        #: how many times the alert fired (0 or 1 by construction).
+        self.alerts = 0
+        self._sources: List[Any] = []
+        self._stream = None
+        self._t: Optional[float] = None
+        self._next: Optional[float] = None
+        self._ops = 0
+        self._writes = 0
+        self._reads = 0
+        self._last_t = 0.0
+        self._last_ops = 0
+        self._finished = False
+
+    # -- wiring ------------------------------------------------------------
+    def bind(self, stream) -> "MetricsEmitter":
+        """Read violation/occupancy sources off ``stream``'s checkers."""
+        self._stream = stream
+        return self
+
+    def add_source(self, checker: Any) -> None:
+        """Watch an extra checker that is not attached to the stream."""
+        if checker not in self._sources:
+            self._sources.append(checker)
+
+    def _iter_sources(self):
+        seen = []
+        if self._stream is not None:
+            for checker in self._stream.checkers:
+                if checker is not self:
+                    seen.append(checker)
+        for checker in self._sources:
+            if checker not in seen:
+                seen.append(checker)
+        return seen
+
+    # -- aggregation -------------------------------------------------------
+    def _violations(self) -> int:
+        return sum(_violations_of(c) for c in self._iter_sources())
+
+    def _window(self) -> int:
+        return sum(_occupancy_of(c) for c in self._iter_sources())
+
+    def _taus(self) -> List[Dict[str, Any]]:
+        taus = []
+        for checker in self._iter_sources():
+            if isinstance(checker, OnlineTauTracker):
+                taus.append({"register": checker.register or "reg",
+                             "tau_stab": checker.tau_stab()})
+        return taus
+
+    # -- OnlineChecker hooks -----------------------------------------------
+    def observe(self, op: Operation) -> None:
+        t = float(op.response)
+        self._t = t if self._t is None else max(self._t, t)
+        self._ops += 1
+        if op.kind == "write":
+            self._writes += 1
+        elif op.kind == "read":
+            self._reads += 1
+        if self._next is None:
+            self._next = self._t + self.every
+        self._check_alert()
+        if self._t >= self._next:
+            while self._t >= self._next:
+                self._next += self.every
+            self._snapshot()
+
+    def finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self._check_alert()
+        self._snapshot(final=True)
+        if self._owns_file and self._file is not None:
+            self._file.close()
+            self._file = None
+
+    # -- emission ----------------------------------------------------------
+    def _check_alert(self) -> None:
+        if self.alerts:
+            return
+        if self._violations() > 0:
+            self.alerts = 1
+            snap = self._snapshot(alert=True)
+            if self.alert_on_violation is not None:
+                self.alert_on_violation(snap)
+
+    def _snapshot(self, alert: bool = False,
+                  final: bool = False) -> Dict[str, Any]:
+        t = self._t if self._t is not None else 0.0
+        dt = t - self._last_t
+        dops = self._ops - self._last_ops
+        snap = {
+            "alert": alert,
+            "final": final,
+            "ops": self._ops,
+            "ops_per_sec": round(dops / dt, 3) if dt > 0 else 0.0,
+            "reads": self._reads,
+            "t": t,
+            "taus": self._taus(),
+            "violations": self._violations(),
+            "window": self._window(),
+            "writes": self._writes,
+        }
+        self._last_t, self._last_ops = t, self._ops
+        self.snapshots.append(snap)
+        if self._file is not None:
+            self._file.write(json.dumps(snap, sort_keys=True) + "\n")
+            self._file.flush()
+        return snap

@@ -166,6 +166,11 @@ class _SingleWriterStream(OnlineChecker):
             self._finalize(self._pending.popleft())
 
     # -- eviction ----------------------------------------------------------
+    @property
+    def window_occupancy(self) -> int:
+        """Operations currently held in the sliding windows."""
+        return len(self._writes) + len(self._pending)
+
     def _evict(self) -> None:
         if self.write_window is None:
             return
@@ -321,6 +326,11 @@ class OnlineInversionDetector(_SingleWriterStream):
         self._ev_reads_max_lo: Optional[int] = None
         self._ev_reads_max_response = _NEG_INF
         self._ev_reads_max_invoke = _NEG_INF
+
+    @property
+    def window_occupancy(self) -> int:
+        return (len(self._writes) + len(self._pending)
+                + len(self._reads))
 
     # -- attribution (mirrors atomicity.find_new_old_inversions) -----------
     def _feasible(self, read: Operation) -> Optional[List[int]]:
@@ -522,6 +532,19 @@ class OnlineTauTracker(OnlineChecker):
     def exact(self) -> bool:
         return (self.regularity.exact and self.inversions.exact
                 and not (self._cand_dropped and not self._candidates))
+
+    @property
+    def violation_count(self) -> int:
+        """Violation events so far (regularity reads + inversion pairs)."""
+        return (self.regularity.violation_count
+                + self.inversions.inversion_count)
+
+    @property
+    def window_occupancy(self) -> int:
+        """Live window footprint across both wrapped checkers."""
+        return (self.regularity.window_occupancy
+                + self.inversions.window_occupancy
+                + len(self._candidates))
 
     # -- violation bookkeeping ---------------------------------------------
     def _barrier(self) -> float:
@@ -809,3 +832,22 @@ class StreamingLinearizer(OnlineChecker):
         """Register → linearizable, for every register observed."""
         return {register: lane.ok
                 for register, lane in sorted(self._lanes.items())}
+
+    def cutoffs(self) -> Dict[str, Optional[float]]:
+        """Register → sealed cutoff, for every *sealed* register.
+
+        This is the checker's replayable configuration: feeding the same
+        operations to a fresh linearizer sealed upfront with these
+        cutoffs reproduces every verdict (capture re-check mode does
+        exactly that).
+        """
+        return {register: lane.cutoff
+                for register, lane in sorted(self._lanes.items())
+                if lane.sealed}
+
+    @property
+    def window_occupancy(self) -> int:
+        """Operations buffered in open/unsealed segments right now."""
+        return sum(len(lane.buffer) + len(lane.open)
+                   + sum(len(segment) for segment, _ in lane.closed)
+                   for lane in self._lanes.values())

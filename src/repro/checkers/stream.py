@@ -36,6 +36,18 @@ from .online import OnlineChecker
 
 _DIGEST_MOD = 1 << 128
 
+#: Construction-time taps: every new stream offers itself to each
+#: registered factory, which may return an extra checker to attach
+#: (``repro.capture`` uses this to ride along with any scenario).
+_STREAM_TAPS: List = []
+
+
+def register_stream_tap(factory) -> None:
+    """Register ``factory(stream) -> Optional[OnlineChecker]`` to be
+    consulted whenever an :class:`ObservationStream` is constructed."""
+    if factory not in _STREAM_TAPS:
+        _STREAM_TAPS.append(factory)
+
 
 def operation_fingerprint(op: Operation) -> int:
     """A 128-bit fingerprint of one operation's observable content.
@@ -96,6 +108,10 @@ class ObservationStream:
         self.reads = 0
         self._digest_acc = 0
         self._closed = False
+        for factory in _STREAM_TAPS:
+            extra = factory(self)
+            if extra is not None:
+                self.checkers.append(extra)
 
     # -- ingestion ---------------------------------------------------------
     def observe(self, op: Operation) -> Operation:

@@ -76,6 +76,19 @@ RESHARD_KINDS = frozenset({"reshard_split", "reshard_merge",
 #: system must re-converge.
 _TRANSIENT_KINDS = frozenset(EVENT_KINDS) - {"byzantine"}
 
+#: Timeline taps: ``tap(t, label, event)`` fires after each timeline
+#: event executes.  ``burst`` / ``link-garbage`` are excluded — the
+#: injector-level tap (:func:`repro.faults.transient.register_fault_tap`)
+#: already sees those, with their effect counts.
+_TAPPED_KINDS = frozenset(EVENT_KINDS) - {"burst", "link-garbage"}
+_TIMELINE_TAPS: List = []
+
+
+def register_timeline_tap(tap) -> None:
+    """Register a timeline-firing observer (idempotent)."""
+    if tap not in _TIMELINE_TAPS:
+        _TIMELINE_TAPS.append(tap)
+
 
 class _TimelineCrash(CrashStrategy):
     """Marker strategy for servers crashed by a ``crash`` event.
@@ -313,6 +326,9 @@ class FaultTimeline:
             rotate_byzantine_set(cluster, injector, new_set,
                                  strategy_factory(strategy, cluster),
                                  frozen=crashed)
+        if kind in _TAPPED_KINDS:
+            for tap in _TIMELINE_TAPS:
+                tap(cluster.scheduler.now, injector.label, event)
 
 
 def _resolve_targets(cluster, spec: Any) -> List:

@@ -25,6 +25,22 @@ from ..registers.messages import BOT, AckRead, AckWrite, NewHelpVal, Read, Write
 from ..sim.process import Process
 from ..sim.trace import FAULT
 
+#: Injection taps: ``tap(t, label, fault, detail)`` fires after each
+#: burst / link-garbage injection (``repro.capture`` records through
+#: this without the injector knowing about capture files).
+_FAULT_TAPS: List = []
+
+
+def register_fault_tap(tap) -> None:
+    """Register an injection observer (idempotent)."""
+    if tap not in _FAULT_TAPS:
+        _FAULT_TAPS.append(tap)
+
+
+def _notify_fault(t: float, label: str, fault: str, detail: dict) -> None:
+    for tap in _FAULT_TAPS:
+        tap(t, label, fault, detail)
+
 
 def garbage_value(rng: random.Random) -> Any:
     """An arbitrary value for message fields."""
@@ -70,6 +86,8 @@ class TransientFaultInjector:
         self.scheduler = scheduler
         self.network = network
         self.corruptions = 0
+        #: capture lane name; sharded stores override per shard.
+        self.label = "cluster"
 
     @classmethod
     def for_cluster(cls, cluster) -> "TransientFaultInjector":
@@ -107,8 +125,12 @@ class TransientFaultInjector:
                     fraction: float = 1.0) -> int:
         """Corrupt many processes at once; returns variables touched."""
         touched = 0
+        targets = 0
         for process in processes:
             touched += len(self.corrupt_process(process, fraction))
+            targets += 1
+        _notify_fault(self.scheduler.now, self.label, "burst",
+                      {"corrupted": touched, "targets": targets})
         return touched
 
     # -- link corruption ---------------------------------------------------------
@@ -127,10 +149,14 @@ class TransientFaultInjector:
                            reg_id: str = "reg") -> None:
         """Garbage on every client<->server link (arbitrary initial state)."""
         servers = list(server_pids)
+        links = 0
         for client in client_pids:
             for server in servers:
                 self.preload_link_garbage(client, server, per_link, reg_id)
                 self.preload_link_garbage(server, client, per_link, reg_id)
+                links += 2
+        _notify_fault(self.scheduler.now, self.label, "link-garbage",
+                      {"links": links, "per_link": per_link})
 
     # -- scheduling -------------------------------------------------------------
     def at(self, time: float, action) -> None:

@@ -25,6 +25,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..capture.format import CaptureError
 from .campaign import campaign_cases, run_campaign
 from .gen import DEFAULT_PROFILE
 from .replay import ReplayArtifact, replay
@@ -80,7 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_replay(args: argparse.Namespace) -> int:
     try:
         artifact = ReplayArtifact.load(args.replay)
-    except (OSError, ValueError, KeyError) as exc:
+    except (OSError, ValueError, KeyError, CaptureError) as exc:
         print(f"bad replay artifact: {exc}", file=sys.stderr)
         return 2
     outcome = replay(artifact)

@@ -1,4 +1,4 @@
-"""Replay artifacts: a shrunk counterexample as a self-contained JSON file.
+"""Replay artifacts: a shrunk counterexample as a self-contained file.
 
 An artifact records the *shrunk* case (everything needed to re-run it),
 the original case it was minimized from, the shrink bookkeeping, the
@@ -7,9 +7,14 @@ active — the environment it needs to reproduce.  ``python -m repro.fuzz
 --replay FILE`` loads one, re-runs the case and reports whether the
 recorded violation kinds still reproduce.
 
-The committed regression corpus lives under ``tests/replays/``: every
-invariant bug the fuzzer (or anyone) finds gets shrunk, saved there and
-replayed by ``tests/test_fuzz_replay_fixtures.py`` forever after.
+New artifacts are written as one profile of the universal capture format
+(see :mod:`repro.capture.format`): a ``"fuzz-replay"`` header carrying
+the case, sealed by the checksum footer carrying the violations and
+shrink bookkeeping.  The original whole-file JSON rendering
+(``FORMAT``, v0) is still loaded transparently — :meth:`ReplayArtifact.load`
+sniffs the first line — so the committed regression corpus under
+``tests/replays/`` keeps replaying unmodified via
+``tests/test_fuzz_replay_fixtures.py``.
 """
 
 from __future__ import annotations
@@ -22,7 +27,11 @@ from typing import Any, Dict, List, Optional
 from .gen import FuzzCase, case_from_dict
 from .harness import INJECT_ENV, CaseOutcome, confirm_case, run_case
 
+#: v0 whole-file JSON artifact tag (still loadable, no longer written).
 FORMAT = "repro.fuzz.replay/1"
+
+#: Capture-format header profile new artifacts are written under.
+CAPTURE_PROFILE = "fuzz-replay"
 
 
 @dataclass
@@ -58,8 +67,29 @@ class ReplayArtifact:
         return json.dumps(self.to_dict(), sort_keys=True, indent=2)
 
     def write(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json() + "\n")
+        """Write the artifact as a sealed capture file (v1).
+
+        The case / campaign / environment live in the header, the
+        violations and shrink bookkeeping in the checksum footer — so
+        ``repro-capture check`` validates fuzz artifacts like any other
+        trace.  Fuzz artifacts carry no event records: replay re-*runs*
+        the case from its spec rather than re-driving a log.
+        """
+        from ..capture.format import CaptureSink
+        sink = CaptureSink(
+            path, profile=CAPTURE_PROFILE, seed=self.case.seed,
+            extra_header={"case": self.case.to_dict(),
+                          "campaign": self.campaign,
+                          "requires_env": self.requires_env})
+        sink.close(
+            history_digest=(self.outcome or {}).get("history_digest"),
+            summary=self.outcome,
+            check={"kind": "fuzz", "signature": self.signature},
+            extra_footer={
+                "violations": self.violations,
+                "shrink": self.shrink,
+                "original_case": (self.original_case.to_dict()
+                                  if self.original_case else None)})
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ReplayArtifact":
@@ -78,7 +108,42 @@ class ReplayArtifact:
             requires_env=data.get("requires_env"))
 
     @classmethod
+    def _from_capture(cls, path: str) -> "ReplayArtifact":
+        from ..capture.format import CaptureReader
+        reader = CaptureReader(path)
+        if reader.header.get("profile") != CAPTURE_PROFILE:
+            raise ValueError(
+                f"capture profile "
+                f"{reader.header.get('profile')!r} is not a fuzz replay "
+                f"artifact (expected {CAPTURE_PROFILE!r})")
+        footer = reader.read_footer()
+        original = footer.get("original_case")
+        return cls(
+            case=case_from_dict(reader.header["case"]),
+            violations=list(footer.get("violations") or []),
+            original_case=case_from_dict(original) if original else None,
+            shrink=footer.get("shrink"),
+            outcome=footer.get("summary"),
+            campaign=reader.header.get("campaign"),
+            requires_env=reader.header.get("requires_env"))
+
+    @classmethod
     def load(cls, path: str) -> "ReplayArtifact":
+        """Load either rendering: the first line decides.
+
+        A capture header (``"record": "header"``) selects the validating
+        v1 path; anything else falls back to the legacy whole-file JSON
+        shim (v0 artifacts are pretty-printed, so their first line never
+        parses as a complete JSON object).
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+        try:
+            sniffed = json.loads(first)
+        except ValueError:
+            sniffed = None
+        if isinstance(sniffed, dict) and sniffed.get("record") == "header":
+            return cls._from_capture(path)
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_dict(json.load(handle))
 

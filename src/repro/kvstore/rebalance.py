@@ -55,6 +55,17 @@ def _noop() -> None:
     without doing anything (scheduled at the alignment horizon)."""
 
 
+#: Rebalance taps: ``tap(report)`` fires after each completed ring
+#: mutation (``repro.capture`` records reshard events through this).
+_RESHARD_TAPS: List = []
+
+
+def register_reshard_tap(tap) -> None:
+    """Register a rebalance observer (idempotent)."""
+    if tap not in _RESHARD_TAPS:
+        _RESHARD_TAPS.append(tap)
+
+
 @dataclass(frozen=True)
 class RebalanceReport:
     """What one rebalance did: the migration epoch's facts, JSON-able."""
@@ -180,6 +191,8 @@ class Rebalancer:
             dests=tuple(sorted({store.shard_for(key) for key in moved})),
             moved_keys=tuple(moved), transferred=tuple(transferred))
         self.reports.append(report)
+        for tap in _RESHARD_TAPS:
+            tap(report)
         return report
 
     def _drain_pipeline(self) -> None:

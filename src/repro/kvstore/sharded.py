@@ -179,6 +179,7 @@ class ShardedKVStore:
         injector = self._injectors.get(shard)
         if injector is None:
             injector = TransientFaultInjector.for_cluster(self.group[shard])
+            injector.label = f"shard{shard}"
             self._injectors[shard] = injector
         return injector
 

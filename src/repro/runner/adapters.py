@@ -24,9 +24,22 @@ from typing import Any, Callable, Dict, Tuple
 from ..checkers.atomicity import check_linearizable, find_new_old_inversions
 from ..experiments.figure1 import run_figure1
 from ..workloads.scenarios import INITIAL
-from ..workloads.spec import run_scenario
+from ..workloads.spec import ScenarioSpec, run_scenario
 
 Sections = Tuple[Dict[str, bool], Dict[str, int], Dict[str, float], str]
+
+#: Spec-level I/O options a sweep cell may carry alongside the family
+#: parameters (see ``repro.capture``); popped off before validation.
+_IO_KEYS = ("capture", "metrics_every", "metrics_out")
+
+
+def run_family(family: str, params: Dict[str, Any]) -> Any:
+    """Run one family from cell params, honoring capture/metrics keys."""
+    params = dict(params)
+    io = {key: params.pop(key) for key in _IO_KEYS if key in params}
+    if not io:
+        return run_scenario(family, **params)
+    return ScenarioSpec(family, params, **io).run()
 
 
 def timings_from(summary) -> Dict[str, float]:
@@ -59,13 +72,13 @@ def run_swsr_cell(params: Dict[str, Any]) -> Sections:
     after τ_no_tr — Theorem 3's headline; regular cells report the count as
     a fact only (regularity legally allows inversions, Figure 1's point).
     """
-    result = run_scenario("swsr", **params)
+    result = run_family("swsr", params)
     return _stabilizing_sections(result, params)
 
 
 def run_mwmr_cell(params: Dict[str, Any]) -> Sections:
     """MWMR cell: ``ok`` = terminates + the history linearizes."""
-    result = run_scenario("mwmr", **params)
+    result = run_family("mwmr", params)
     linearizable = bool(result.completed
                         and check_linearizable(result.history).ok)
     summary = result.summarize()
@@ -113,7 +126,7 @@ def _stabilizing_sections(result, params: Dict[str, Any]) -> Sections:
 
 def run_partition_cell(params: Dict[str, Any]) -> Sections:
     """Partition-during-write cell; also reports dropped-message counts."""
-    result = run_scenario("partition", **params)
+    result = run_family("partition", params)
     verdicts, counters, timings, digest = _stabilizing_sections(result,
                                                                 params)
     counters["messages_dropped"] = result.cluster.network.messages_dropped
@@ -122,7 +135,7 @@ def run_partition_cell(params: Dict[str, Any]) -> Sections:
 
 def run_mobile_byz_cell(params: Dict[str, Any]) -> Sections:
     """Mobile Byzantine rotation cell: ok = terminates + stabilizes."""
-    result = run_scenario("mobile-byz", **params)
+    result = run_family("mobile-byz", params)
     return _stabilizing_sections(result, params)
 
 
@@ -133,7 +146,7 @@ def run_soak_cell(params: Dict[str, Any]) -> Sections:
     The cell retains no history: every verdict and counter is read off
     the observation stream, which is the point of the family.
     """
-    result = run_scenario("soak", **params)
+    result = run_family("soak", params)
     summary = result.summarize()
     tracker = result.extra.get("tracker")
     exact = bool(tracker.exact) if tracker is not None else True
@@ -189,7 +202,7 @@ def run_fuzz_cell(params: Dict[str, Any]) -> Sections:
 def run_kv_cell(params: Dict[str, Any]) -> Sections:
     """Sharded KV cell: ``ok`` = terminates + every key's post-τ history
     linearizes (each key judged against its own shard's τ)."""
-    result = run_scenario("kv", **params)
+    result = run_family("kv", params)
     summary = result.summarize()
     linearizable = bool(summary.completed and result.linearizable)
     verdicts = {
@@ -208,7 +221,7 @@ def run_reshard_cell(params: Dict[str, Any]) -> Sections:
     """Live-resharding cell: ``ok`` = terminates + every key's post-τ
     history linearizes straight across every handoff + every migration
     epoch re-stabilizes (its aggregated τ exists)."""
-    result = run_scenario("reshard", **params)
+    result = run_family("reshard", params)
     summary = result.summarize()
     linearizable = bool(summary.completed and result.linearizable)
     epochs = result.epoch_taus

@@ -160,23 +160,36 @@ def run_loopback_load(*, clients: int = 4, lanes: int = 8, rounds: int = 4,
                       keys_per_lane: int = 4, shards: int = 4, n: int = 9,
                       t: int = 1, seed: int = 20260808,
                       store_clients: int = 2,
-                      max_events: int = 2_000_000) -> LoadReport:
+                      max_events: int = 2_000_000,
+                      capture: Any = None) -> LoadReport:
     """Build a fresh store + service and run the loopback load workload.
 
     ``clients`` is the *connection* fan-in only; the logical workload is
     fixed by ``lanes`` × ``rounds`` × ``keys_per_lane``, so reports from
     different ``clients`` values are comparable (same ops, same
-    ``response_digest``).
+    ``response_digest``).  ``capture=`` records the whole session (store
+    ops, request/response frames, drain transitions) to a trace file
+    that ``repro.capture.replay_service_capture`` re-drives.
     """
     if lanes < 1 or rounds < 1 or keys_per_lane < 1 or clients < 1:
         raise ValueError("clients, lanes, rounds and keys_per_lane must "
                          "be positive")
+    session = None
+    if capture is not None:
+        from ..capture.session import ServiceCaptureSession
+        session = ServiceCaptureSession(
+            capture, store={"shard_count": shards, "n": n, "t": t,
+                            "seed": seed, "client_count": store_clients},
+            max_events=max_events)
 
     async def main() -> LoadReport:
         service = KVService(shard_count=shards, n=n, t=t, seed=seed,
                             client_count=store_clients,
-                            max_events=max_events)
-        return await _run_load(service, clients, lanes, rounds,
-                               keys_per_lane)
+                            max_events=max_events, capture=session)
+        report = await _run_load(service, clients, lanes, rounds,
+                                 keys_per_lane)
+        if session is not None:
+            session.close(service)
+        return report
 
     return asyncio.run(main())

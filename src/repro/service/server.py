@@ -65,7 +65,8 @@ class KVService:
     """
 
     def __init__(self, store: Optional[ShardedKVStore] = None, *,
-                 max_events: int = 2_000_000, **store_kwargs: Any):
+                 max_events: int = 2_000_000, capture: Any = None,
+                 **store_kwargs: Any):
         self.store = store if store is not None \
             else ShardedKVStore(**store_kwargs)
         self.max_events = max_events
@@ -79,6 +80,13 @@ class KVService:
         self._draining = False
         self._response_acc = 0
         self._response_count = 0
+        #: duck-typed recording seam (``repro.capture``'s
+        #: ``ServiceCaptureSession``): store ops ride the observation
+        #: stream, request/response frames and drain transitions are
+        #: recorded in execution order.
+        self.capture = capture
+        if capture is not None:
+            self.stream.attach(capture.operation_recorder())
 
     # -- digests -----------------------------------------------------------
     @property
@@ -108,11 +116,15 @@ class KVService:
     def begin_drain(self) -> None:
         """Refuse new data requests (``STATS`` keeps answering)."""
         self._draining = True
+        if self.capture is not None:
+            self.capture.record_drain(self.store.now, "begin")
 
     def end_drain(self) -> None:
         """Accept data requests again (a drain that did not end in
         shutdown — e.g. load shed during a resharding handoff)."""
         self._draining = False
+        if self.capture is not None:
+            self.capture.record_drain(self.store.now, "end")
 
     async def drained(self) -> None:
         """Resolves once no request is executing against the store."""
@@ -143,29 +155,44 @@ class KVService:
         """Execute one decoded request; never raises protocol errors."""
         self.requests_served += 1
         if request.op == "STATS":
-            return Response.success(request.request_id, stats=self.stats())
+            return self._record_frame(
+                request, Response.success(request.request_id,
+                                          stats=self.stats()))
         if self._draining:
-            return Response.failure(request.request_id, E_UNAVAILABLE,
-                                    "server is draining")
+            return self._record_frame(
+                request, Response.failure(request.request_id,
+                                          E_UNAVAILABLE,
+                                          "server is draining"))
         client = request.client or self.store.client_pids[0]
         if client not in self.store.client_pids:
-            return Response.failure(
+            return self._record_frame(request, Response.failure(
                 request.request_id, E_BAD_REQUEST,
                 f"unknown client {client!r} (store clients: "
-                f"{', '.join(self.store.client_pids)})")
+                f"{', '.join(self.store.client_pids)})"))
         async with self._lock:
             try:
-                return self._execute(request, client)
+                response = self._execute(request, client)
             except SimulationLimitReached as exc:
                 # flush is exception-safe: handles it could not complete
                 # stay queued in ``pipeline.issued`` and drain on the
                 # next flush, so no forced reset is needed here.
-                return Response.failure(
+                response = Response.failure(
                     request.request_id, E_UNAVAILABLE,
                     f"simulation event budget exhausted: {exc}")
             except OperationError as exc:
-                return Response.failure(request.request_id, E_INTERNAL,
-                                        str(exc))
+                response = Response.failure(request.request_id,
+                                            E_INTERNAL, str(exc))
+            # still under the lock: the recorded frame order is the
+            # store execution order, which is what replay re-drives.
+            return self._record_frame(request, response)
+
+    def _record_frame(self, request: Request,
+                      response: Response) -> Response:
+        if self.capture is not None:
+            self.capture.record_frame(self.store.now,
+                                      request.to_payload(),
+                                      response.to_payload())
+        return response
 
     def _execute(self, request: Request, client: str) -> Response:
         """One batch against the store: enqueue, single drain, respond."""

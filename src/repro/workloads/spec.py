@@ -80,9 +80,16 @@ class ScenarioSpec:
 
     family: str
     params: Mapping[str, Any] = field(default_factory=dict)
+    #: spec-level I/O options (not family parameters): record the run to
+    #: a capture file / emit periodic metrics snapshots (see
+    #: ``repro.capture``).
+    capture: Any = None
+    metrics_every: Any = None
+    metrics_out: Any = None
 
     def __init__(self, family: str, params: Mapping[str, Any] = (),
-                 **kwargs: Any):
+                 *, capture: Any = None, metrics_every: Any = None,
+                 metrics_out: Any = None, **kwargs: Any):
         merged = dict(params or {})
         overlap = sorted(set(merged) & set(kwargs))
         if overlap:
@@ -91,15 +98,26 @@ class ScenarioSpec:
         merged.update(kwargs)
         canonical = _canonical_family(family)
         _validate_params(canonical, merged)
+        if metrics_every is not None and not float(metrics_every) > 0:
+            raise ValueError(f"metrics_every must be positive, got "
+                             f"{metrics_every!r}")
+        if capture is not None or metrics_every is not None \
+                or metrics_out is not None:
+            _reject_multiprocess(canonical, merged)
         object.__setattr__(self, "family", canonical)
         object.__setattr__(self, "params", merged)
+        object.__setattr__(self, "capture", capture)
+        object.__setattr__(self, "metrics_every", metrics_every)
+        object.__setattr__(self, "metrics_out", metrics_out)
 
     # -- ergonomics --------------------------------------------------------
     def with_params(self, **overrides: Any) -> "ScenarioSpec":
         """A new spec with ``overrides`` merged over these params."""
         merged = dict(self.params)
         merged.update(overrides)
-        return ScenarioSpec(self.family, merged)
+        return ScenarioSpec(self.family, merged, capture=self.capture,
+                            metrics_every=self.metrics_every,
+                            metrics_out=self.metrics_out)
 
     def defaults(self) -> Dict[str, Any]:
         """Every parameter the family accepts, with its default value."""
@@ -115,19 +133,60 @@ class ScenarioSpec:
 
     # -- (de)serialization -------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {"family": self.family, "params": dict(self.params)}
+        payload: Dict[str, Any] = {"family": self.family,
+                                   "params": dict(self.params)}
+        for key in ("capture", "metrics_every", "metrics_out"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
-        extra = sorted(set(payload) - {"family", "params"})
+        allowed = {"family", "params", "capture", "metrics_every",
+                   "metrics_out"}
+        extra = sorted(set(payload) - allowed)
         if extra:
             raise ValueError(f"unexpected spec keys: {', '.join(extra)}")
-        return cls(payload["family"], dict(payload.get("params") or {}))
+        return cls(payload["family"], dict(payload.get("params") or {}),
+                   capture=payload.get("capture"),
+                   metrics_every=payload.get("metrics_every"),
+                   metrics_out=payload.get("metrics_out"))
 
     # -- execution ---------------------------------------------------------
     def run(self) -> Any:
-        """Execute the scenario; returns the family's result object."""
-        return FAMILIES[self.family](**self.params)
+        """Execute the scenario; returns the family's result object.
+
+        With ``capture=`` / ``metrics_*=`` set, the run executes under
+        an active :mod:`repro.capture` session: the trace file is
+        written and sealed around the family call, and the metrics
+        emitter ends up in ``result.extra["metrics"]``.
+        """
+        if self.capture is None and self.metrics_every is None \
+                and self.metrics_out is None:
+            return FAMILIES[self.family](**self.params)
+        from ..capture.session import capturing
+        with capturing(self) as session:
+            result = FAMILIES[self.family](**self.params)
+            session.finalize(result)
+        if session.metrics is not None:
+            result.extra["metrics"] = session.metrics
+        return result
+
+
+def _reject_multiprocess(family: str, params: Mapping[str, Any]) -> None:
+    """Capture/metrics tap the in-process observation stream; a parallel
+    runner builds its streams in worker processes where no session is
+    active, so the combination would record nothing — refuse it."""
+    if params.get("parallel") is not None:
+        raise ValueError(
+            f"capture/metrics cannot ride a parallel run "
+            f"({family!r} with parallel={params['parallel']!r}); "
+            f"record serially, then replay with workers")
+    if family == "soak" and params.get("shards") not in (None, 1):
+        raise ValueError(
+            "capture/metrics cannot ride a sharded soak (worker "
+            "processes); record with shards=1")
 
 
 def _validate_params(family: str, params: Mapping[str, Any]) -> None:

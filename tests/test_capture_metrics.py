@@ -1,0 +1,122 @@
+"""Soak observability: metrics snapshots and the fire-once alert hook.
+
+``MetricsEmitter`` rides an observation stream like any online checker:
+periodic JSON-lines snapshots (ops, rates, per-register τ, checker
+window occupancy, violation counts) in simulated time, plus an
+``alert_on_violation`` callback that fires **exactly once** — on the
+first snapshot boundary where any checker reports a violation.
+"""
+
+import json
+import os
+
+from repro.capture import DEFAULT_EVERY, MetricsEmitter
+from repro.checkers.online import OnlineTauTracker
+from repro.checkers.stream import ObservationStream
+from repro.fuzz.replay import ReplayArtifact
+from repro.workloads.scenarios import INITIAL
+from repro.workloads.spec import ScenarioSpec, run_scenario
+
+REPLAY_DIR = os.path.join(os.path.dirname(__file__), "replays")
+
+SOAK = dict(seed=3, num_writes=120, num_reads=120,
+            write_window=8, read_window=8, max_records=8)
+
+
+def run_soak_with_metrics(tmp_path, every=30.0):
+    out = str(tmp_path / "metrics.jsonl")
+    spec = ScenarioSpec("soak", SOAK, metrics_every=every,
+                        metrics_out=out)
+    result = spec.run()
+    snaps = [json.loads(line) for line in open(out, encoding="utf-8")]
+    return result, snaps, out
+
+
+def test_snapshots_are_valid_monotone_jsonlines(tmp_path):
+    result, snaps, _ = run_soak_with_metrics(tmp_path)
+    assert len(snaps) >= 3
+    last_t = float("-inf")
+    for snap in snaps:
+        assert set(snap) == {"alert", "final", "ops", "ops_per_sec",
+                             "reads", "t", "taus", "violations",
+                             "window", "writes"}
+        assert snap["t"] >= last_t
+        last_t = snap["t"]
+    assert snaps[-1]["final"] is True
+    assert all(snap["final"] is False for snap in snaps[:-1])
+    assert snaps[-1]["ops"] == result.summarize().ops
+    emitter = result.extra["metrics"]
+    assert [snap["t"] for snap in snaps] == \
+        [snap["t"] for snap in emitter.snapshots]
+
+
+def test_clean_soak_never_alerts_and_windows_stay_bounded(tmp_path):
+    result, snaps, out = run_soak_with_metrics(tmp_path)
+    assert result.extra["metrics"].alerts == 0
+    assert all(snap["alert"] is False for snap in snaps)
+    assert all(snap["violations"] == 0 for snap in snaps)
+    # greppable from CI: the serialized form spells the key out
+    text = open(out, encoding="utf-8").read()
+    assert '"alert": true' not in text
+    # bounded-window checkers: occupancy plateaus instead of tracking
+    # the op count (the run is sized so eviction demonstrably engages).
+    windows = [snap["window"] for snap in snaps]
+    tail = windows[-4:]
+    assert max(tail) == min(tail), f"occupancy still growing: {windows}"
+    assert max(windows) < snaps[-1]["ops"]
+
+
+def test_alert_fires_exactly_once_on_violation():
+    """The committed wsn-jump counterexample is the violating input."""
+    artifact = ReplayArtifact.load(
+        os.path.join(REPLAY_DIR, "wsn-jump-atomic.json"))
+    result = run_scenario("swsr", **artifact.case.scenario_kwargs())
+    ops = sorted(result.history, key=lambda op: op.response)
+
+    fired = []
+    emitter = MetricsEmitter(every=1000.0,
+                             alert_on_violation=fired.append)
+    tracker = OnlineTauTracker(mode="atomic", initial=INITIAL)
+    stream = ObservationStream(checkers=[tracker, emitter],
+                               keep_history=False)
+    emitter.bind(stream)
+    for op in ops:
+        stream.observe(op)
+    stream.close()
+
+    assert tracker.violation_count >= 1
+    assert len(fired) == 1, "alert must fire exactly once"
+    assert emitter.alerts == 1
+    alert = fired[0]
+    assert alert["alert"] is True and alert["violations"] >= 1
+    # exactly one alert snapshot, and closing does not re-fire
+    alerted = [snap for snap in emitter.snapshots if snap["alert"]]
+    assert len(alerted) == 1 and alerted[0] is alert
+    assert emitter.snapshots[-1]["final"] is True
+
+
+def test_default_cadence_and_unbound_emitter():
+    emitter = MetricsEmitter()
+    assert emitter.every == DEFAULT_EVERY
+    # no stream, no sources: finish still produces the final snapshot
+    emitter.finish()
+    assert len(emitter.snapshots) == 1
+    assert emitter.snapshots[0]["final"] is True
+
+
+def test_metrics_without_capture_file():
+    """metrics_every alone keeps snapshots in memory (no file)."""
+    spec = ScenarioSpec("soak", SOAK, metrics_every=60.0)
+    result = spec.run()
+    emitter = result.extra["metrics"]
+    assert emitter.snapshots
+    assert emitter.snapshots[-1]["final"] is True
+
+
+def test_parallel_run_rejects_metrics():
+    import pytest
+    with pytest.raises(ValueError):
+        ScenarioSpec("kv", dict(shard_count=2, parallel=2),
+                     metrics_every=10.0)
+    with pytest.raises(ValueError):
+        ScenarioSpec("soak", dict(shards=2), capture="x.jsonl")

@@ -1,0 +1,142 @@
+"""Service-layer capture: live KVService traffic records and replays.
+
+The loopback load generator records store operations, request/response
+frames (in execution order) and drain-window transitions; replay
+re-drives the frames through a fresh service and must land on the same
+``history_digest`` *and* ``response_digest`` — including requests the
+drain window rejected.
+"""
+
+import asyncio
+import filecmp
+import os
+
+import pytest
+
+from repro.capture import (capture_service, load_capture,
+                           replay_capture, replay_service_capture,
+                           verify_capture)
+from repro.service.loadgen import run_loopback_load
+from repro.service.protocol import E_UNAVAILABLE, Request
+from repro.service.server import KVService
+
+CAPTURE_DIR = os.path.join(os.path.dirname(__file__), "captures")
+GOLDEN_SERVICE = os.path.join(CAPTURE_DIR, "service.jsonl")
+
+#: exact arguments the committed service.jsonl was recorded from.
+GOLDEN_LOAD = dict(shards=2, clients=2, rounds=1, seed=9)
+
+
+def test_golden_service_trace_replays():
+    report = replay_service_capture(GOLDEN_SERVICE)
+    assert report.ok and not report.mismatches
+    assert report.history_digest == report.expected_digest
+
+
+def test_replay_capture_dispatches_on_service_profile():
+    report = replay_capture(GOLDEN_SERVICE)
+    assert report.mode == "service" and report.ok
+
+
+def test_loopback_capture_matches_live_run(tmp_path):
+    trace = str(tmp_path / "svc.jsonl")
+    live = run_loopback_load(capture=trace, **GOLDEN_LOAD)
+    replayed = replay_service_capture(trace)
+    assert replayed.ok
+    assert replayed.history_digest == live.history_digest
+    assert replayed.summary["response_digest"] == live.response_digest
+    assert replayed.summary["requests_served"] == \
+        live.stats["requests_served"]
+
+
+def test_golden_service_trace_rerecords_byte_identically(tmp_path):
+    fresh = str(tmp_path / "service.jsonl")
+    run_loopback_load(capture=fresh, **GOLDEN_LOAD)
+    assert filecmp.cmp(fresh, GOLDEN_SERVICE, shallow=False), \
+        "re-recording the service load changed the trace bytes"
+
+
+def test_service_trace_records_all_lanes():
+    info = verify_capture(GOLDEN_SERVICE)
+    assert info["profile"] == "service"
+    assert set(info["kinds"]) == {"drain", "frame", "op"}
+    # the single STATS request plus one frame per lane round
+    assert info["kinds"]["drain"] == 1          # shutdown's begin_drain
+
+
+def test_drain_window_rejections_roundtrip(tmp_path):
+    """Operations refused mid-drain replay as the same refusals."""
+    trace = str(tmp_path / "drain.jsonl")
+    store = {"shard_count": 1, "n": 9, "t": 1, "seed": 7,
+             "client_count": 1}
+    session = capture_service(trace, store=store)
+
+    async def drive() -> KVService:
+        service = KVService(max_events=2_000_000, capture=session,
+                            **store)
+        client = service.store.client_pids[0]
+        ok = await service.handle(Request.put(1, "k", "v1",
+                                              client=client))
+        assert ok.ok
+        service.begin_drain()
+        refused = await service.handle(Request.put(2, "k", "v2",
+                                                   client=client))
+        assert not refused.ok and refused.error == E_UNAVAILABLE
+        service.end_drain()
+        read = await service.handle(Request.get(3, "k", client=client))
+        assert read.ok and read.value == "v1"
+        return service
+
+    service = asyncio.run(drive())
+    session.close(service)
+
+    header, events, footer = load_capture(trace)
+    frames = [event for event in events if event["kind"] == "frame"]
+    drains = [event["drain"] for event in events
+              if event["kind"] == "drain"]
+    assert drains == ["begin", "end"]
+    refusals = [frame for frame in frames
+                if frame["frame"]["response"].get("error")
+                == E_UNAVAILABLE]
+    assert len(refusals) == 1
+    assert refusals[0]["frame"]["request"]["id"] == 2
+
+    report = replay_service_capture(trace)
+    assert report.ok and not report.mismatches
+
+
+def test_service_replay_detects_tampered_frame(tmp_path):
+    """A frame whose recorded response is edited must not replay ok."""
+    import hashlib
+    import json
+
+    trace = str(tmp_path / "svc.jsonl")
+    run_loopback_load(capture=trace, **GOLDEN_LOAD)
+    with open(trace, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    index = next(i for i, line in enumerate(lines)
+                 if '"kind":"frame"' in line
+                 and '"op":"BATCH"' in line)
+    record = json.loads(lines[index])
+    record["frame"]["response"]["results"][0] = "tampered"
+    lines[index] = json.dumps(record, sort_keys=True,
+                              separators=(",", ":")) + "\n"
+    # re-seal so the *checksum* is valid and only the content lies
+    footer = json.loads(lines[-1])
+    del footer["sha256"]
+    sha = hashlib.sha256()
+    for line in lines[:-1]:
+        sha.update(line.encode("utf-8"))
+    footer["sha256"] = sha.hexdigest()
+    lines[-1] = json.dumps(footer, sort_keys=True,
+                           separators=(",", ":")) + "\n"
+    with open(trace, "w", encoding="utf-8") as handle:
+        handle.writelines(lines)
+    report = replay_service_capture(trace, strict=False)
+    assert not report.ok
+    assert any("frame" in entry for entry in report.mismatches)
+
+
+def test_service_replay_rejects_workers():
+    with pytest.raises(ValueError):
+        replay_capture(GOLDEN_SERVICE, workers=2)

@@ -20,7 +20,7 @@ def test_workflow_parses_and_has_jobs(workflow):
     assert set(workflow["jobs"]) == {"lint", "test", "perf-smoke",
                                      "parallel-sim", "fuzz-smoke",
                                      "service-smoke", "reshard-smoke",
-                                     "docs"}
+                                     "capture-smoke", "docs"}
     # "on" parses as YAML true; accept either spelling
     assert True in workflow or "on" in workflow
 
@@ -158,10 +158,37 @@ def test_service_smoke_job_gates_load_and_digests(workflow):
     assert "BENCH_service.json" in uploads[0]["with"]["path"]
 
 
+def test_capture_smoke_job_gates_replay_modes_and_uploads(workflow):
+    steps = workflow["jobs"]["capture-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    # a trace is recorded through the CLI and replayed in both modes ...
+    assert "repro-capture record" in runs
+    assert "--mode resimulate" in runs and "--mode recheck" in runs
+    # ... re-recording the same spec is byte-identical ...
+    assert "cmp kv-trace.jsonl kv-trace-again.jsonl" in runs
+    # ... the 1-vs-4-worker replay reports are byte-identical ...
+    assert "--workers 1" in runs and "--workers 4" in runs
+    assert "cmp replay-1.json replay-4.json" in runs
+    # ... the committed golden corpus stays checkable and replayable ...
+    assert "tests/captures" in runs
+    assert "tests/captures/service.jsonl" in runs
+    # ... and a clean soak's metrics never trip the alert hook.
+    assert "repro-capture tail" in runs
+    assert "! grep -q '\"alert\": true'" in runs
+    # traces + reports are archived (also on failure).
+    uploads = [step for step in steps
+               if "upload-artifact" in step.get("uses", "")]
+    assert uploads, "capture-smoke artifact upload step missing"
+    assert uploads[0]["if"] == "always()"
+    assert "kv-trace.jsonl" in uploads[0]["with"]["path"]
+    assert "soak-metrics.jsonl" in uploads[0]["with"]["path"]
+
+
 def test_docs_job_covers_the_new_surfaces(workflow):
     runs = " ".join(step.get("run", "")
                     for step in workflow["jobs"]["docs"]["steps"])
     assert "src/repro/service" in runs
+    assert "src/repro/capture" in runs
     assert "src/repro/api.py" in runs
     assert "src/repro/workloads/spec.py" in runs
 

@@ -48,6 +48,41 @@ def test_wsn_jump_reproduces_without_any_env(monkeypatch):
     assert "regularity" in outcome.outcome.signature
 
 
+def test_v0_artifact_roundtrips_through_capture_format(tmp_path):
+    """Re-saving a legacy artifact writes the unified capture format,
+    and the sniffing loader reads it back equal, field for field."""
+    artifact = ReplayArtifact.load(
+        os.path.join(REPLAY_DIR, "wsn-jump-atomic.json"))
+    path = str(tmp_path / "wsn-v1.jsonl")
+    artifact.write(path)
+    with open(path, encoding="utf-8") as handle:
+        first = handle.readline()
+    assert '"record": "header"' in first.replace('":"', '": "') or \
+        '"record":"header"' in first
+    back = ReplayArtifact.load(path)
+    assert back.case == artifact.case
+    assert back.original_case == artifact.original_case
+    assert back.violations == artifact.violations
+    assert back.shrink == artifact.shrink
+    assert back.outcome == artifact.outcome
+    assert back.campaign == artifact.campaign
+    assert back.requires_env == artifact.requires_env
+    # the unified format makes fuzz artifacts checkable like any trace
+    from repro.capture import verify_capture
+    info = verify_capture(path)
+    assert info["profile"] == "fuzz-replay" and info["events"] == 0
+
+
+def test_v1_artifact_still_reproduces(monkeypatch, tmp_path):
+    monkeypatch.delenv(INJECT_ENV, raising=False)
+    artifact = ReplayArtifact.load(
+        os.path.join(REPLAY_DIR, "wsn-jump-atomic.json"))
+    path = str(tmp_path / "wsn-v1.jsonl")
+    artifact.write(path)
+    outcome = replay(ReplayArtifact.load(path))
+    assert outcome.reproduced
+
+
 def test_injected_fixture_tracks_its_environment(monkeypatch):
     artifact = ReplayArtifact.load(
         os.path.join(REPLAY_DIR, "injected-burst.json"))
