@@ -1,10 +1,18 @@
 """Shared machinery of the benchmark harness.
 
 Every bench regenerates one experiment from DESIGN.md §5 and reports a
-claims table (paper claim vs measured verdict).  Tables are printed (visible
-with ``pytest benchmarks/ -s``) *and* appended to ``benchmarks/results.txt``
-so a plain ``--benchmark-only`` run still leaves the evidence on disk;
-EXPERIMENTS.md embeds them.
+claims table (paper claim vs measured verdict).  Tables are printed
+(visible with ``pytest benchmarks/ -s``) *and* upserted into
+``benchmarks/results.txt`` so a plain ``--benchmark-only`` run still
+leaves the evidence on disk; EXPERIMENTS.md embeds them.
+
+``results.txt`` is a sequence of sections separated by blank lines; the
+first line of each section (the table title) is its key.  Re-running any
+bench replaces its own sections in place and leaves every other section
+untouched, so a partial run — a single bench file, or a tier-1 sweep
+that happens to collect benchmarks — can never go stale or clobber
+tables it did not regenerate.  (The previous harness deleted the whole
+file at session start, so exactly that happened.)
 """
 
 import os
@@ -22,12 +30,32 @@ def sweep_workers():
     return SWEEP_WORKERS
 
 
-def pytest_sessionstart(session):
-    # start each harness run with a fresh results file
+def _split_sections(body: str) -> list:
+    """Split results.txt into title-keyed sections (blank-line separated)."""
+    sections = []
+    for chunk in body.split("\n\n"):
+        if chunk.strip():
+            sections.append(chunk.strip("\n"))
+    return sections
+
+
+def upsert_section(text: str, path: str = RESULTS_PATH) -> None:
+    """Replace the section sharing ``text``'s title line, else append."""
+    text = text.strip("\n")
+    title = text.split("\n", 1)[0]
     try:
-        os.remove(RESULTS_PATH)
+        with open(path, "r", encoding="utf-8") as handle:
+            sections = _split_sections(handle.read())
     except FileNotFoundError:
-        pass
+        sections = []
+    for index, section in enumerate(sections):
+        if section.split("\n", 1)[0] == title:
+            sections[index] = text
+            break
+    else:
+        sections.append(text)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n\n".join(sections) + "\n")
 
 
 @pytest.fixture
@@ -37,7 +65,6 @@ def report():
     def _report(text: str) -> None:
         print()
         print(text)
-        with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
-            handle.write(text + "\n\n")
+        upsert_section(text)
 
     return _report

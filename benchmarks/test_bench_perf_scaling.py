@@ -33,6 +33,15 @@ ARTIFACT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
 #: reports and writes the artifact, but only sanity-checks the ordering.
 PERF_GATE = bool(os.environ.get("REPRO_PERF_GATE"))
 
+#: Absolute NullTrace events/sec floors, armed together with PERF_GATE.
+#: The calendar-queue/fused-send kernel rewrite measured 870-930k storm
+#: and 250-325k scenario best-of on the reference container depending
+#: on its load phase (seed kernel: ~630k / ~207k); the floors sit below
+#: the slow-phase measurements to absorb runner noise while still
+#: catching any regression back towards the seed numbers.
+STORM_FLOOR = int(os.environ.get("REPRO_STORM_FLOOR", "660000"))
+SCENARIO_FLOOR = int(os.environ.get("REPRO_SCENARIO_FLOOR", "230000"))
+
 
 def _op_latencies(history):
     return [op.response - op.invoke for op in history]
@@ -172,7 +181,9 @@ def test_p1d_simcore_throughput_vs_trace_backend(report):
             elapsed = time.perf_counter() - started
             processed = result.cluster.scheduler.events_processed
             return processed / elapsed, processed
-        scenario_rates[backend], _ = _best_of(3, run_scenario)
+        # each scenario run is short (~0.15 s), so a wider best-of is
+        # cheap and keeps the gated figure robust on noisy runners
+        scenario_rates[backend], _ = _best_of(5, run_scenario)
 
     table = Table("P1d  simulation-core throughput (events/sec)",
                   ["workload", "backend", "events/sec", "vs full"])
@@ -209,6 +220,12 @@ def test_p1d_simcore_throughput_vs_trace_backend(report):
             f"NullTrace fast path must be >= 2x the full-trace path "
             f"(got {rates['null'] / rates['full']:.2f}x)")
         assert scenario_rates["null"] > 1.2 * scenario_rates["full"]
+        assert rates["null"] >= STORM_FLOOR, (
+            f"storm throughput regressed below the {STORM_FLOOR} "
+            f"events/sec floor (got {rates['null']:.0f})")
+        assert scenario_rates["null"] >= SCENARIO_FLOOR, (
+            f"scenario throughput regressed below the {SCENARIO_FLOOR} "
+            f"events/sec floor (got {scenario_rates['null']:.0f})")
 
 
 def test_p1e_backends_agree_on_execution(report):

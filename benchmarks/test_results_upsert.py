@@ -1,0 +1,39 @@
+"""results.txt upsert semantics: partial bench runs must never clobber
+sections they did not regenerate (the staleness bug of the old harness,
+which deleted the whole file at session start)."""
+
+from conftest import upsert_section
+
+
+def _read(path):
+    return path.read_text(encoding="utf-8")
+
+
+def test_append_then_replace_in_place(tmp_path):
+    path = str(tmp_path / "results.txt")
+    upsert_section("T1  first table\na | b\n1 | 2", path=path)
+    upsert_section("T2  second table\nx | y\n3 | 4", path=path)
+    body = _read(tmp_path / "results.txt")
+    assert body == ("T1  first table\na | b\n1 | 2\n\n"
+                    "T2  second table\nx | y\n3 | 4\n")
+
+    # regenerating T1 alone replaces it in place, T2 untouched
+    upsert_section("T1  first table\na | b\n9 | 9", path=path)
+    body = _read(tmp_path / "results.txt")
+    assert "9 | 9" in body and "1 | 2" not in body
+    assert body.index("T1") < body.index("T2")
+    assert "T2  second table\nx | y\n3 | 4" in body
+
+
+def test_upsert_is_idempotent(tmp_path):
+    path = str(tmp_path / "results.txt")
+    upsert_section("T1  table\nrow", path=path)
+    first = _read(tmp_path / "results.txt")
+    upsert_section("T1  table\nrow", path=path)
+    assert _read(tmp_path / "results.txt") == first
+
+
+def test_missing_file_created(tmp_path):
+    path = str(tmp_path / "fresh.txt")
+    upsert_section("T9  new\nrow", path=path)
+    assert _read(tmp_path / "fresh.txt") == "T9  new\nrow\n"

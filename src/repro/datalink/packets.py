@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SSMsg:
     """A broadcast payload in transit from a client to one server."""
 
@@ -30,14 +30,14 @@ class SSMsg:
     payload: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SSConfirm:
     """Substrate-level confirmation that one server ss-delivered a phase."""
 
     phase: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SSReply:
     """An algorithm-level acknowledgement correlated to a broadcast phase."""
 
@@ -45,7 +45,7 @@ class SSReply:
     payload: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataPacket:
     """Alternating-bit data packet ``(bit, m)`` of the footnote-3 protocol.
 
@@ -60,7 +60,7 @@ class DataPacket:
     tag: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckPacket:
     """Alternating-bit acknowledgement ``(bit, ack)``, echoing the tag."""
 

@@ -87,8 +87,17 @@ class DirectClientTransport(ClientTransport):
         self._handles[phase] = handle
         self.process.trace.emit(self.process.scheduler.now, BROADCAST,
                                 self.process.pid, phase=phase, payload=payload)
+        # one frozen SSMsg shared across all servers (n-1 allocations
+        # saved), dispatched straight to the fused per-link closures
+        process = self.process
+        message = SSMsg(phase, process.pid, payload)
+        fast_out = process._fast_out
         for server in self.servers:
-            self.process.send(server, SSMsg(phase, self.process.pid, payload))
+            fast = fast_out.get(server)
+            if fast is not None:
+                fast(message)
+            else:
+                process.network._send_slow(process.pid, server, message)
         return handle
 
     def on_network_message(self, src: str, msg: Any) -> bool:
@@ -113,7 +122,7 @@ class DirectServerTransport:
         if isinstance(msg, SSMsg):
             # Substrate-level confirmation: sent before the (possibly
             # Byzantine) automaton runs, unless the strategy suppresses it.
-            if getattr(self.server, "confirm_enabled", True):
+            if self.server.confirm_enabled:
                 self.server.send(src, SSConfirm(msg.phase))
             # Reply "by return" to the physical link peer (``src``), not to
             # whatever sender a (possibly garbage) message claims: link

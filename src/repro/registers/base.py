@@ -19,12 +19,47 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..datalink.packets import SSReply
-from ..datalink.ss_broadcast import (ClientTransport, DirectServerTransport)
+from ..datalink.packets import SSConfirm, SSMsg, SSReply
+from ..datalink.ss_broadcast import (BroadcastHandle, ClientTransport,
+                                     DirectClientTransport,
+                                     DirectServerTransport)
 from ..sim.process import Predicate, Process, WaitCondition
 from ..sim.scheduler import Scheduler
 from ..sim.trace import NOTE, Trace
 from .messages import BOT
+
+
+class _BroadcastComplete(WaitCondition):
+    """``ss_broadcast`` termination: enough substrate confirmations.
+
+    Equivalent to ``Predicate(handle.completed)`` with the bookkeeping
+    flattened into ``satisfied`` — this condition is re-evaluated on
+    every message the client receives, so each saved frame counts.
+    """
+
+    __slots__ = ("handle",)
+
+    def __init__(self, handle):
+        self.handle = handle
+
+    def satisfied(self) -> bool:
+        handle = self.handle
+        return len(handle.confirmed) >= handle.needed
+
+
+class _RepliesCollected(WaitCondition):
+    """Replies received from ``count`` different servers (flattened
+    ``await_replies`` predicate holding the phase's reply dict directly)."""
+
+    __slots__ = ("collected", "count", "phase")
+
+    def __init__(self, collected: Dict[str, Any], count: int, phase: int):
+        self.collected = collected
+        self.count = count
+        self.phase = phase
+
+    def satisfied(self) -> bool:
+        return len(self.collected) >= self.count
 
 
 @dataclass(frozen=True)
@@ -171,6 +206,20 @@ class ServerProcess(Process):
         return automaton
 
     def on_message(self, src: str, msg: Any) -> None:
+        # Inlined DirectServerTransport.on_network_message — the dominant
+        # per-delivery path; semantics identical, two frames cheaper.
+        if isinstance(msg, SSMsg) and \
+                type(self.transport) is DirectServerTransport:
+            if self.confirm_enabled:
+                fast = self._fast_out.get(src)
+                if fast is not None:
+                    fast(SSConfirm(msg.phase))
+                else:
+                    self.network._send_slow(self.pid, src, SSConfirm(msg.phase))
+            # ``ss_deliver`` stays a real call — it is the instrumentable
+            # seam of the ss-broadcast abstraction (tests wrap it).
+            self.ss_deliver(src, msg.payload, msg.phase)
+            return
         if self.transport.on_network_message(src, msg):
             return
         # Anything else is channel garbage (transient failures): tolerated.
@@ -183,7 +232,10 @@ class ServerProcess(Process):
         if self.strategy is not None:
             self.strategy.on_deliver(self, client, payload, phase)
             return
-        self.dispatch(client, payload, phase)
+        # inlined dispatch() — the correct-server hot path
+        automaton = self.automatons.get(getattr(payload, "reg_id", None))
+        if automaton is not None:
+            automaton.on_deliver(client, payload, phase)
 
     def dispatch(self, client: str, payload: Any, phase: int) -> None:
         """Run the correct automaton for ``payload`` (if any)."""
@@ -223,8 +275,17 @@ class RegisterClientProcess(Process):
             if collected is not None and src not in collected:
                 collected[src] = msg.payload
             return
-        if self.transport is not None and \
-                self.transport.on_network_message(src, msg):
+        transport = self.transport
+        # Inlined DirectClientTransport.on_network_message + confirm() —
+        # every broadcast collects n confirmations through here.
+        if isinstance(msg, SSConfirm) and \
+                type(transport) is DirectClientTransport:
+            handle = transport._handles.get(msg.phase)
+            if handle is not None:
+                handle.confirmed.add(src)
+            return
+        if transport is not None and \
+                transport.on_network_message(src, msg):
             return
         self.trace.emit(self.scheduler.now, NOTE, self.pid,
                         ignored=type(msg).__name__)
@@ -234,7 +295,13 @@ class RegisterClientProcess(Process):
         """The blocking ``ss_broadcast(m)`` invocation; returns the phase."""
         handle = self.transport.begin(payload)
         self._replies[handle.phase] = {}
-        yield Predicate(handle.completed, label=f"ss_broadcast:{handle.phase}")
+        if type(handle) is BroadcastHandle:
+            yield _BroadcastComplete(handle)
+        else:
+            # transports may return handle variants with their own
+            # completion bookkeeping — wait on the method, not the fields
+            yield Predicate(handle.completed,
+                            label=f"ss_broadcast:{handle.phase}")
         return handle.phase
 
     def replies(self, phase: int) -> Dict[str, Any]:
@@ -242,8 +309,14 @@ class RegisterClientProcess(Process):
 
     def await_replies(self, phase: int, count: int) -> WaitCondition:
         """Condition: replies received from ``count`` different servers."""
-        return Predicate(lambda: len(self._replies.get(phase, ())) >= count,
-                         label=f"await_replies:{phase}:{count}")
+        collected = self._replies.get(phase)
+        if collected is None:
+            # phase unknown (already retired, or never broadcast): fall
+            # back to a live lookup so the condition can never resurrect
+            # a dropped phase dict.
+            return Predicate(lambda: len(self._replies.get(phase, ())) >= count,
+                             label=f"await_replies:{phase}:{count}")
+        return _RepliesCollected(collected, count, phase)
 
     def retire_phase(self, phase: int) -> None:
         """Drop bookkeeping of a completed wait (keeps memory bounded)."""

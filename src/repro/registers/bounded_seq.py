@@ -39,7 +39,7 @@ def next_wsn(wsn: int, modulus: int = DEFAULT_MODULUS) -> int:
     return (wsn + 1) % modulus
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WsnConfig:
     """Sequence-number configuration shared by a writer/reader pair.
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Sequence
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Epoch:
     """A bounded label ``(s, A)``; hashable so it can sit in quorum counts."""
 

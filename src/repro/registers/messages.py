@@ -36,7 +36,7 @@ class _Bottom:
 BOT = _Bottom()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Write:
     """WRITE(v) — line 01 of Figure 2 / 01M of Figure 3.
 
@@ -47,7 +47,7 @@ class Write:
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckWrite:
     """ACK_WRITE(helping_val) — line 20."""
 
@@ -55,7 +55,7 @@ class AckWrite:
     helping_val: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NewHelpVal:
     """NEW_HELP_VAL(v) — line 04."""
 
@@ -63,7 +63,7 @@ class NewHelpVal:
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Read:
     """READ(new_read) — line 09 (and N2 of Figure 3)."""
 
@@ -71,7 +71,7 @@ class Read:
     new_read: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckRead:
     """ACK_READ(last_val, helping_val) — line 23."""
 

@@ -14,7 +14,8 @@ from .network import (AsyncDelay, DelayModel, FixedDelay, Link, Network,
 from .process import (AllOf, AnyOf, Deadline, OperationHandle, Predicate,
                       Process, WaitCondition, join_all)
 from .random_source import RandomSource, derive_seed
-from .scheduler import EventHandle, Scheduler
+from .scheduler import (EventHandle, HeapScheduler, Scheduler,
+                        build_scheduler)
 from .trace import (BROADCAST, CountingTrace, DELIVER, DROP, FAULT, FullTrace,
                     NOTE, NullTrace, OP_INVOKE, OP_RESPONSE, SEND, TIMER,
                     Trace, TraceBackend, TraceEvent, build_trace)
@@ -24,12 +25,13 @@ __all__ = [
     "DROP", "Deadline",
     "DelayModel", "EventHandle", "FAULT", "FixedDelay", "FullTrace", "Link",
     "LinkError",
+    "HeapScheduler",
     "NOTE", "Network", "NullTrace", "OP_INVOKE", "OP_RESPONSE",
     "OperationError",
     "OperationHandle", "Predicate", "Process", "RandomSource", "SEND",
     "SchedulerError", "Scheduler", "ScriptedDelay", "SimulationError",
     "SimulationLimitReached", "SyncDelay", "TIMER", "Trace", "TraceBackend",
     "TraceEvent",
-    "UnknownProcessError", "WaitCondition", "build_trace", "derive_seed",
-    "join_all",
+    "UnknownProcessError", "WaitCondition", "build_scheduler", "build_trace",
+    "derive_seed", "join_all",
 ]

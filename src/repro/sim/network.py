@@ -29,18 +29,27 @@ Fast path
 details are recorded (a :class:`~repro.sim.trace.FullTrace` debugging
 run), deliveries go through the labelled, cancellable scheduler path so
 the trace and the event queue stay inspectable; otherwise delivery is
-scheduled through the fused :meth:`Scheduler.schedule_delivery` entry —
-no kwargs dict, no detail dict, no :class:`EventHandle`.  Both paths
-consume identical ``(time, seq)`` pairs, so executions are bit-identical
-across backends.
+scheduled through the fused calendar-queue insert — no kwargs dict, no
+detail dict, no :class:`EventHandle`.  Both paths consume identical
+``(time, seq)`` pairs, so executions are bit-identical across backends.
+
+On non-counting backends the per-link work is *fused*: the first send
+over an up link compiles a bound closure capturing the link, its delay
+model's ``sample`` method, its RNG stream and the scheduler internals,
+so every later send runs one dict hit plus straight-line arithmetic —
+no attribute chases, no property calls, no intermediate method frames —
+and allocates only the delivery tuple.  The closure self-checks
+``down_votes`` (so a partition can never be raced past) and is dropped
+whenever the link's delay model is swapped.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+from heapq import heappush
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
 
-from .errors import LinkError, UnknownProcessError
+from .errors import LinkError, SchedulerError, UnknownProcessError
 from .process import Process
 from .random_source import RandomSource
 from .scheduler import Scheduler
@@ -199,7 +208,14 @@ class Network:
         self._rec_deliver = trace.wants(DELIVER)
         self._rec_drop = trace.wants(DROP)
         self._counting = trace.counting
-        scheduler.bind_delivery(self._deliver)
+        # Fused per-link send closures (compiled lazily on first send when
+        # the backend records nothing per message; see module docstring).
+        self._fast_path = not self._rec_send and not self._counting
+        self._fast_sends: Dict[Tuple[str, str], Callable[[Any], None]] = {}
+        if not self._rec_deliver and not self._counting:
+            scheduler.bind_delivery(self._deliver_fast)
+        else:
+            scheduler.bind_delivery(self._deliver)
 
     # -- topology ---------------------------------------------------------
     def register(self, process: Process) -> Process:
@@ -215,6 +231,11 @@ class Network:
         if existing is not None:
             if delay_model is not None:
                 existing.delay_model = delay_model
+                # the fused closure captured the old model's sample method
+                self._fast_sends.pop(key, None)
+                sender = self.processes.get(src)
+                if sender is not None:
+                    sender._fast_out.pop(dst, None)
             return existing
         model = delay_model or self.default_delay
         rng = self.randomness.stream(f"link:{src}->{dst}")
@@ -267,6 +288,19 @@ class Network:
 
     # -- transport ----------------------------------------------------------
     def send(self, src: str, dst: str, message: Any) -> None:
+        fast = self._fast_sends.get((src, dst))
+        if fast is not None:
+            fast(message)
+        else:
+            self._send_slow(src, dst, message)
+
+    def _send_slow(self, src: str, dst: str, message: Any) -> None:
+        """The general send path: validation, partitions, trace recording.
+
+        Also the fused path's compiler — an eligible ``(src, dst)`` pair
+        gets its closure installed here, so the very next send over the
+        link skips straight to it.
+        """
         if dst not in self.processes:
             raise UnknownProcessError(f"no process {dst!r} registered")
         link = self.links.get((src, dst))
@@ -282,6 +316,15 @@ class Network:
             elif self._counting:
                 self.trace.tick(now, DROP)
             return
+        if self._fast_path:
+            self._fast_sends[(src, dst)] = fast = self._compile_fast_send(link)
+            sender = self.processes.get(src)
+            if sender is not None:
+                # mirror into the sender's string-keyed cache so
+                # Process.send dispatches without building a key tuple
+                sender._fast_out[dst] = fast
+            fast(message)
+            return
         link.messages_sent += 1
         self.messages_sent += 1
         delivery_time = link.next_delivery_time(now, message)
@@ -293,6 +336,97 @@ class Network:
             if self._counting:
                 self.trace.tick(now, SEND)
             self.scheduler.schedule_delivery(delivery_time, src, dst, message)
+
+    def _compile_fast_send(self, link: Link) -> Callable[[Any], None]:
+        """Compile the per-link fused send closure.
+
+        Everything immutable is captured at compile time (endpoints, the
+        delay model's bound ``sample``, the link RNG, the scheduler's
+        calendar geometry); mutable scheduler state (clock, cursor, base,
+        overflow heap) is read through the scheduler each call.  The
+        closure performs exactly the slow path's effects for an up link —
+        same counters, same FIFO clamp, same ``(time, seq)`` consumption —
+        and bails back to :meth:`_send_slow` whenever the link has down
+        votes, so partitions behave identically.
+        """
+        sched = self.scheduler
+        src, dst = link.src, link.dst
+        model = link.delay_model
+        rng = link.rng
+        seq = sched._seq
+        # Inline the delay draw for the stock uniform models: both are
+        # ``rng.uniform(lo, hi)``, i.e. ``lo + (hi - lo) * rng.random()``
+        # — reproduced bit-for-bit below (one RNG draw, same arithmetic),
+        # just without the two Python frames.
+        model_type = type(model)
+        if model_type is AsyncDelay:
+            lo, span = model.lo, model.hi - model.lo
+        elif model_type is SyncDelay:
+            lo, span = 1e-6, model.bound - 1e-6
+        else:
+            lo = span = None
+        sample = model.sample
+        rand = rng.random
+        if type(sched) is Scheduler:  # calendar kernel: inline the insert
+            buckets = sched._buckets
+            invw = sched._inv_width
+            nb = sched._nb
+
+            def fast_send(message: Any, _link: Link = link,
+                          _slow: Callable = self._send_slow) -> None:
+                if _link.down_votes:
+                    _slow(src, dst, message)
+                    return
+                _link.messages_sent += 1
+                self.messages_sent += 1
+                now = sched.now
+                if lo is not None:
+                    time = now + (lo + span * rand())
+                else:
+                    time = now + sample(src, dst, message, rng)
+                if time < _link.last_delivery:
+                    time = _link.last_delivery
+                else:
+                    _link.last_delivery = time
+                if time < now:
+                    raise SchedulerError(
+                        f"cannot schedule at {time}, current time is {now}")
+                entry = (time, next(seq), src, dst, message)
+                # inlined Scheduler._insert
+                idx = int((time - sched._base) * invw)
+                cur = sched._cur
+                if idx <= cur:
+                    heappush(buckets[cur], entry)
+                elif idx < nb:
+                    buckets[idx].append(entry)
+                else:
+                    heappush(sched._far, entry)
+                sched._live += 1
+        else:
+            insert = sched._insert
+
+            def fast_send(message: Any, _link: Link = link,
+                          _slow: Callable = self._send_slow) -> None:
+                if _link.down_votes:
+                    _slow(src, dst, message)
+                    return
+                _link.messages_sent += 1
+                self.messages_sent += 1
+                now = sched.now
+                if lo is not None:
+                    time = now + (lo + span * rand())
+                else:
+                    time = now + sample(src, dst, message, rng)
+                if time < _link.last_delivery:
+                    time = _link.last_delivery
+                else:
+                    _link.last_delivery = time
+                if time < now:
+                    raise SchedulerError(
+                        f"cannot schedule at {time}, current time is {now}")
+                insert(time, (time, next(seq), src, dst, message))
+
+        return fast_send
 
     def preload(self, src: str, dst: str, messages: Iterable[Any],
                 spread: float = 0.5) -> None:
@@ -335,3 +469,25 @@ class Network:
         elif self._counting:
             self.trace.tick(self.scheduler.now, DELIVER)
         process.deliver(src, message)
+
+    def _deliver_fast(self, src: str, dst: str, message: Any) -> None:
+        """Delivery with ``Process.deliver`` inlined (non-recording runs).
+
+        ``deliver`` is pinned as "do not override", so expanding it here
+        (``on_message`` + ``poll``, with ``poll``'s no-coroutine early
+        exit hoisted) drops frames per message without changing
+        behaviour.
+        """
+        try:
+            process = self.processes[dst]
+        except KeyError:  # pragma: no cover - defensive
+            raise UnknownProcessError(f"process {dst!r} vanished") from None
+        self.messages_delivered += 1
+        process.on_message(src, message)
+        if process._current_gen is not None:
+            # ``poll`` returns immediately while its wait condition is
+            # unsatisfied — pre-check it here (conditions are pure) and
+            # skip the frame for the common no-progress delivery.
+            condition = process._current_cond
+            if condition is None or condition.satisfied():
+                process.poll()

@@ -229,6 +229,10 @@ class Process:
         self.scheduler = scheduler
         self.trace = trace
         self.network = None  # bound by Network.register
+        #: per-destination fused send closures, installed by the network
+        #: (string-keyed twin of ``Network._fast_sends`` — saves the
+        #: tuple build + tuple hash on every send from this process)
+        self._fast_out: Dict[str, Callable[[Any], None]] = {}
         self.corruptible: Dict[str, CorruptibleVar] = {}
         self._current_op: Optional[OperationHandle] = None
         self._current_gen: Optional[OpGenerator] = None
@@ -237,8 +241,17 @@ class Process:
 
     # -- messaging ------------------------------------------------------
     def send(self, dst: str, message: Any) -> None:
-        """Send ``message`` over the (FIFO, reliable) link to ``dst``."""
-        self.network.send(self.pid, dst, message)
+        """Send ``message`` over the (FIFO, reliable) link to ``dst``.
+
+        Dispatches straight to the network's fused per-link closure when
+        one is installed (see ``Network.send``) — same semantics, one
+        frame less on the per-message hot path.
+        """
+        fast = self._fast_out.get(dst)
+        if fast is not None:
+            fast(message)
+        else:
+            self.network._send_slow(self.pid, dst, message)
 
     def deliver(self, src: str, message: Any) -> None:
         """Called by the network when a message arrives; do not override."""

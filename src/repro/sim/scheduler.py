@@ -1,16 +1,16 @@
-"""Virtual-time discrete-event scheduler.
+"""Virtual-time discrete-event scheduler — the calendar-queue kernel.
 
 The scheduler is the heart of the deterministic substrate: every message
-delivery, timer expiry and fault injection is an event on a single
-priority queue ordered by ``(time, sequence-number)``.  The secondary key
-makes the execution order total and deterministic even for simultaneous
-events — events scheduled earlier run earlier.
+delivery, timer expiry and fault injection is an event ordered by
+``(time, sequence-number)``.  The secondary key makes the execution order
+total and deterministic even for simultaneous events — events scheduled
+earlier run earlier.
 
 The paper's model assumes processing takes zero time and only message
 transfers take time; we mirror that by running each event callback
 atomically at its scheduled instant.
 
-Two kinds of heap entry share the queue (plain tuples, so ordering
+Two kinds of queue entry share the structure (plain tuples, so ordering
 comparisons run at C speed and never look past the unique ``seq``):
 
 * ``(time, seq, handle)`` — a generic, cancellable event carrying an
@@ -24,15 +24,46 @@ comparisons run at C speed and never look past the unique ``seq``):
 Both kinds consume sequence numbers from the same counter, so the
 ``(time, seq)`` total order — and therefore every simulated execution —
 is identical whichever path scheduled an event.
+
+Calendar queue
+--------------
+Event times cluster: delay models draw from narrow ranges around ``now``,
+so most pending events live within a few time units of the clock.  The
+kernel exploits that with a *calendar queue* (a bucketed ladder): the
+near future is an array of buckets of fixed ``bucket_width``; an event is
+filed by quantized time with a plain ``list.append`` (no heap discipline
+until its bucket becomes *active*).  Only the active bucket — the one the
+clock is currently draining — is kept as a binary heap, so push/pop costs
+scale with the handful of imminent events, not the whole pending set.
+Events beyond the calendar horizon (far-future timers, fault timelines)
+fall back to an overflow heap and are redistributed when the calendar
+rolls forward.  Bucket routing is monotone in event time (IEEE multiply
+and ``int`` truncation both preserve order), so the pop order is exactly
+the global ``(time, seq)`` order — property-tested against the reference
+single-heap kernel in ``tests/test_sim_scheduler.py``.
+
+:class:`HeapScheduler` keeps the seed single-heap kernel alive as the
+executable reference model: :func:`build_scheduler` (used by ``Cluster``)
+selects the kernel via ``DEFAULT_KERNEL`` / the ``REPRO_SIM_KERNEL``
+environment variable, and ``tests/test_trace_backends.py`` pins one cell
+per scenario family to an identical ``history_digest`` under both.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import os
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, List, Optional, Tuple
 
 from .errors import SchedulerError, SimulationLimitReached
+
+#: Kernel picked by :func:`build_scheduler` when none is requested.
+#: ``"calendar"`` is the production kernel; ``"heap"`` is the seed
+#: single-heap reference (kept for cross-kernel determinism tests and
+#: ``repro-profile --kernel heap`` comparisons).
+KERNELS = ("calendar", "heap")
+DEFAULT_KERNEL = os.environ.get("REPRO_SIM_KERNEL", "calendar")
 
 
 class EventHandle:
@@ -65,7 +96,7 @@ class EventHandle:
 
 
 class Scheduler:
-    """A deterministic virtual-time event loop.
+    """A deterministic virtual-time event loop (calendar-queue kernel).
 
     Typical use::
 
@@ -73,17 +104,33 @@ class Scheduler:
         sched.schedule(1.5, callback, arg1, arg2)
         sched.run()          # until the queue drains
         sched.now            # -> 1.5
+
+    ``bucket_width`` / ``bucket_count`` size the calendar (defaults cover
+    128 time units at 0.5 per bucket); they affect only constant factors,
+    never execution order.
     """
 
-    def __init__(self):
+    def __init__(self, bucket_width: float = 0.5, bucket_count: int = 256):
+        if bucket_width <= 0 or bucket_count < 2:
+            raise SchedulerError(
+                f"invalid calendar shape (width={bucket_width}, "
+                f"count={bucket_count})")
         self.now: float = 0.0
-        self._queue: List[Tuple] = []
         self._seq = itertools.count()
         self.events_processed: int = 0
-        self._running = False
         #: not-yet-fired, not-cancelled entries (kept O(1)-queryable).
         self._live = 0
         self._deliver_fn: Optional[Callable[[str, str, Any], None]] = None
+        # calendar state: buckets[_cur] is the active bucket and is always
+        # in heap order; buckets past _cur are plain appended lists;
+        # entries at or beyond the horizon wait in the _far overflow heap.
+        self._width = bucket_width
+        self._inv_width = 1.0 / bucket_width
+        self._nb = bucket_count
+        self._buckets: List[List[Tuple]] = [[] for _ in range(bucket_count)]
+        self._base = 0.0
+        self._cur = 0
+        self._far: List[Tuple] = []
 
     # ------------------------------------------------------------------
     # scheduling
@@ -103,8 +150,7 @@ class Scheduler:
                 f"cannot schedule at {time}, current time is {self.now}")
         handle = EventHandle(time, callback, args, label=label)
         handle._scheduler = self
-        heapq.heappush(self._queue, (time, next(self._seq), handle))
-        self._live += 1
+        self._insert(time, (time, next(self._seq), handle))
         return handle
 
     def bind_delivery(self, deliver: Callable[[str, str, Any], None]) -> None:
@@ -119,7 +165,7 @@ class Scheduler:
                           message: Any) -> None:
         """Fast path: schedule a non-cancellable message delivery.
 
-        Skips :class:`EventHandle` allocation entirely — the heap entry is
+        Skips :class:`EventHandle` allocation entirely — the queue entry is
         the event.  Requires :meth:`bind_delivery` to have been called.
         Delivery times come from delay models that never go backwards, so
         the past-check is an assertion of substrate correctness, same as in
@@ -131,86 +177,124 @@ class Scheduler:
         if self._deliver_fn is None:
             raise SchedulerError("no delivery callback bound "
                                  "(Scheduler.bind_delivery)")
-        heapq.heappush(self._queue, (time, next(self._seq), src, dst, message))
+        self._insert(time, (time, next(self._seq), src, dst, message))
+
+    def _insert(self, time: float, entry: Tuple) -> None:
+        """File one entry by quantized time.
+
+        Entries whose natural bucket is at or before the active one join
+        the active heap (callbacks scheduling at the current tick land
+        here); later in-calendar entries are plain appends; beyond-horizon
+        entries go to the overflow heap.  The routing is monotone in
+        ``time``, which is what keeps pops globally ordered.
+        """
+        idx = int((time - self._base) * self._inv_width)
+        if idx <= self._cur:
+            heappush(self._buckets[self._cur], entry)
+        elif idx < self._nb:
+            self._buckets[idx].append(entry)
+        else:
+            heappush(self._far, entry)
         self._live += 1
 
+    # ------------------------------------------------------------------
+    # calendar maintenance
+    # ------------------------------------------------------------------
+    def _advance(self) -> bool:
+        """Move the active cursor to the next non-empty bucket.
+
+        Heapifies the bucket it lands on.  Rolls the calendar forward from
+        the overflow heap when the bucket array is exhausted; returns
+        False only when no live entries remain anywhere (and realigns the
+        empty calendar at ``now`` so later inserts start dense again).
+        """
+        buckets, nb = self._buckets, self._nb
+        cur = self._cur + 1
+        while True:
+            while cur < nb:
+                bucket = buckets[cur]
+                if bucket:
+                    heapify(bucket)
+                    self._cur = cur
+                    return True
+                cur += 1
+            if self._far:
+                self._rebuild()
+                return True
+            self._base = self.now
+            self._cur = 0
+            return False
+
+    def _rebuild(self) -> None:
+        """Roll the calendar: re-anchor at the earliest overflow entry and
+        redistribute everything now inside the horizon."""
+        far = self._far
+        base = far[0][0]
+        self._base = base
+        inv_width, nb = self._inv_width, self._nb
+        buckets = self._buckets
+        keep: List[Tuple] = []
+        for entry in far:
+            idx = int((entry[0] - base) * inv_width)
+            if idx < nb:
+                buckets[idx].append(entry)
+            else:
+                keep.append(entry)
+        heapify(keep)
+        self._far = keep
+        self._cur = 0
+        heapify(buckets[0])
+        if not buckets[0]:  # pragma: no cover - base is far[0]'s bucket
+            self._advance()
+
+    def _peek_entry(self) -> Optional[Tuple]:
+        """The next live entry (cancelled entries are dropped), or None.
+
+        Leaves the entry at the head of the active bucket.
+        """
+        buckets = self._buckets
+        while True:
+            bucket = buckets[self._cur]
+            while bucket:
+                entry = bucket[0]
+                if len(entry) == 3 and entry[2].cancelled:
+                    heappop(bucket)
+                    continue
+                return entry
+            if not self._advance():
+                return None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     def pending_count(self) -> int:
         """Number of not-yet-fired, not-cancelled events in the queue (O(1))."""
         return self._live
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or ``None`` if drained."""
-        queue = self._queue
-        while queue:
-            entry = queue[0]
-            if len(entry) == 3 and entry[2].cancelled:
-                heapq.heappop(queue)
-                continue
-            return entry[0]
-        return None
+        entry = self._peek_entry()
+        return None if entry is None else entry[0]
 
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next event.  Returns False if the queue is empty."""
-        queue = self._queue
-        while queue:
-            entry = heapq.heappop(queue)
-            if len(entry) == 5:
-                self.now = entry[0]
-                self.events_processed += 1
-                self._live -= 1
-                self._deliver_fn(entry[2], entry[3], entry[4])
-                return True
+        entry = self._peek_entry()
+        if entry is None:
+            return False
+        heappop(self._buckets[self._cur])
+        self.now = entry[0]
+        self.events_processed += 1
+        self._live -= 1
+        if len(entry) == 5:
+            self._deliver_fn(entry[2], entry[3], entry[4])
+        else:
             handle = entry[2]
-            if handle.cancelled:
-                continue
-            self.now = entry[0]
             handle.fired = True
-            self.events_processed += 1
-            self._live -= 1
             handle.callback(*handle.args)
-            return True
-        return False
-
-    def _drain_tick(self, tick: float,
-                    allowance: Optional[int]) -> int:
-        """Run the full run of events scheduled at exactly ``tick``.
-
-        The same-tick batch drain: instead of one ``peek_time`` +
-        ``step`` round-trip per event, the whole run of equal-timestamp
-        entries (delivery tuples and generic handles alike) is popped in
-        one pass.  Events a callback schedules *at* ``tick`` join the run
-        (the heap is re-examined each iteration, so the ``(time, seq)``
-        total order is exactly the unbatched one).  ``allowance`` caps how
-        many events may fire; the count actually fired is returned so the
-        caller's budget accounting stays event-exact.
-        """
-        queue = self._queue
-        deliver = self._deliver_fn
-        processed = 0
-        while queue and (allowance is None or processed < allowance):
-            entry = queue[0]
-            if entry[0] != tick:
-                break
-            heapq.heappop(queue)
-            if len(entry) == 5:
-                self.now = tick
-                self.events_processed += 1
-                self._live -= 1
-                deliver(entry[2], entry[3], entry[4])
-            else:
-                handle = entry[2]
-                if handle.cancelled:
-                    continue
-                self.now = tick
-                handle.fired = True
-                self.events_processed += 1
-                self._live -= 1
-                handle.callback(*handle.args)
-            processed += 1
-        return processed
+        return True
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
@@ -220,27 +304,56 @@ class Scheduler:
         ``max_events`` exhaustion raises :class:`SimulationLimitReached`;
         reaching ``until`` or draining the queue returns normally.
 
-        Same-tick runs are drained in one :meth:`_drain_tick` pass (the
-        hot-loop optimisation for message storms, where many deliveries
-        share a timestamp); execution order, ``until`` semantics and the
-        per-event budget are byte-identical to the one-``step``-per-event
-        loop (property-tested in ``tests/test_sim_scheduler.py``).
+        Same-tick runs are drained in one batched pass over the active
+        bucket without re-entering the peek loop (the hot-loop
+        optimisation for message storms, where many deliveries share a
+        timestamp); execution order, ``until`` semantics and the per-event
+        budget are byte-identical to the one-``step``-per-event loop
+        (property-tested in ``tests/test_sim_scheduler.py``).
         """
         budget = max_events
+        buckets = self._buckets
         while True:
-            next_time = self.peek_time()
-            if next_time is None:
+            entry = self._peek_entry()
+            if entry is None:
                 return
-            if until is not None and next_time > until:
+            tick = entry[0]
+            if until is not None and tick > until:
                 self.now = until
                 return
-            if budget is not None and budget <= 0:
-                raise SimulationLimitReached(
-                    f"event budget exhausted at t={self.now}",
-                    self.events_processed, self.now)
-            processed = self._drain_tick(next_time, budget)
-            if budget is not None:
-                budget -= processed
+            # Batched same-tick drain: every event at exactly `tick` lives
+            # in the active bucket (same-tick children join it on insert),
+            # so the whole run pops here without re-peeking the calendar.
+            bucket = buckets[self._cur]
+            deliver = self._deliver_fn
+            while True:
+                if budget is not None:
+                    if budget <= 0:
+                        raise SimulationLimitReached(
+                            f"event budget exhausted at t={self.now}",
+                            self.events_processed, self.now)
+                    budget -= 1
+                heappop(bucket)
+                self.now = tick
+                self.events_processed += 1
+                self._live -= 1
+                if len(entry) == 5:
+                    deliver(entry[2], entry[3], entry[4])
+                else:
+                    handle = entry[2]
+                    handle.fired = True
+                    handle.callback(*handle.args)
+                entry = None
+                while bucket:
+                    head = bucket[0]
+                    if len(head) == 3 and head[2].cancelled:
+                        heappop(bucket)
+                        continue
+                    if head[0] == tick:
+                        entry = head
+                    break
+                if entry is None:
+                    break
 
     def run_until(self, predicate: Callable[[], bool],
                   max_events: int = 1_000_000) -> None:
@@ -249,6 +362,135 @@ class Scheduler:
         Raises :class:`SimulationLimitReached` if the queue drains or the
         budget runs out while the predicate is still false.
         """
+        if predicate():
+            return
+        budget = max_events
+        buckets = self._buckets
+        deliver = self._deliver_fn
+        while budget > 0:
+            # inline pop of the next live entry (the per-event hot loop of
+            # every scenario run — one function call saved per event pays
+            # for itself at hundreds of thousands of events/sec)
+            bucket = buckets[self._cur]
+            while True:
+                if bucket:
+                    entry = bucket[0]
+                    if len(entry) == 3 and entry[2].cancelled:
+                        heappop(bucket)
+                        continue
+                    break
+                if not self._advance():
+                    raise SimulationLimitReached(
+                        f"event queue drained at t={self.now} with predicate unmet",
+                        self.events_processed, self.now)
+                bucket = buckets[self._cur]
+            heappop(bucket)
+            self.now = entry[0]
+            self.events_processed += 1
+            self._live -= 1
+            if len(entry) == 5:
+                deliver(entry[2], entry[3], entry[4])
+            else:
+                handle = entry[2]
+                handle.fired = True
+                handle.callback(*handle.args)
+            budget -= 1
+            if predicate():
+                return
+        raise SimulationLimitReached(
+            f"event budget exhausted at t={self.now} with predicate unmet",
+            self.events_processed, self.now)
+
+
+class HeapScheduler(Scheduler):
+    """The seed single-heap kernel, kept as the executable reference model.
+
+    Everything lives on one global binary heap; semantics are identical to
+    :class:`Scheduler` (same ``(time, seq)`` order, same error contract).
+    The property tests in ``tests/test_sim_scheduler.py`` drive both
+    kernels with identical event soups and assert event-for-event
+    equality, and one cell per scenario family is pinned to an identical
+    ``history_digest`` across kernels.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._queue: List[Tuple] = []
+
+    def _insert(self, time: float, entry: Tuple) -> None:
+        heappush(self._queue, entry)
+        self._live += 1
+
+    def _peek_entry(self) -> Optional[Tuple]:
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if len(entry) == 3 and entry[2].cancelled:
+                heappop(queue)
+                continue
+            return entry
+        return None
+
+    def step(self) -> bool:
+        entry = self._peek_entry()
+        if entry is None:
+            return False
+        heappop(self._queue)
+        self.now = entry[0]
+        self.events_processed += 1
+        self._live -= 1
+        if len(entry) == 5:
+            self._deliver_fn(entry[2], entry[3], entry[4])
+        else:
+            handle = entry[2]
+            handle.fired = True
+            handle.callback(*handle.args)
+        return True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        budget = max_events
+        queue = self._queue
+        deliver = self._deliver_fn
+        while True:
+            entry = self._peek_entry()
+            if entry is None:
+                return
+            tick = entry[0]
+            if until is not None and tick > until:
+                self.now = until
+                return
+            while True:
+                if budget is not None:
+                    if budget <= 0:
+                        raise SimulationLimitReached(
+                            f"event budget exhausted at t={self.now}",
+                            self.events_processed, self.now)
+                    budget -= 1
+                heappop(queue)
+                self.now = tick
+                self.events_processed += 1
+                self._live -= 1
+                if len(entry) == 5:
+                    deliver(entry[2], entry[3], entry[4])
+                else:
+                    handle = entry[2]
+                    handle.fired = True
+                    handle.callback(*handle.args)
+                entry = None
+                while queue:
+                    head = queue[0]
+                    if len(head) == 3 and head[2].cancelled:
+                        heappop(queue)
+                        continue
+                    if head[0] == tick:
+                        entry = head
+                    break
+                if entry is None:
+                    break
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_events: int = 1_000_000) -> None:
         if predicate():
             return
         budget = max_events
@@ -263,3 +505,20 @@ class Scheduler:
         raise SimulationLimitReached(
             f"event budget exhausted at t={self.now} with predicate unmet",
             self.events_processed, self.now)
+
+
+def build_scheduler(kernel: Optional[str] = None) -> Scheduler:
+    """Construct a scheduler kernel by name.
+
+    ``None`` resolves through :data:`DEFAULT_KERNEL` (settable via the
+    ``REPRO_SIM_KERNEL`` environment variable), which is how the
+    cross-kernel determinism tests run whole scenarios on the reference
+    heap kernel without touching any call site.
+    """
+    name = kernel or DEFAULT_KERNEL
+    if name == "calendar":
+        return Scheduler()
+    if name == "heap":
+        return HeapScheduler()
+    raise SchedulerError(f"unknown scheduler kernel {name!r} "
+                         f"(expected one of {KERNELS})")

@@ -64,6 +64,10 @@ class ScenarioEngine:
         self.stream = ObservationStream(checkers=attached,
                                         keep_history=keep_history)
         self.drivers: List[ClientDriver] = []
+        #: count of currently busy drivers, maintained by idle-edge
+        #: callbacks so the run-loop predicate is one integer compare
+        #: instead of a per-event scan over every driver.
+        self._busy = 0
 
     # -- spec entry point --------------------------------------------------
     @classmethod
@@ -84,13 +88,20 @@ class ScenarioEngine:
         """A sequential driver whose completions feed the stream."""
         driver = ClientDriver(self.cluster.scheduler, process,
                               observer=self.stream.observe_handle,
-                              retain_handles=self.retain_handles)
+                              retain_handles=self.retain_handles,
+                              idle_observer=self._on_idle_edge)
         self.drivers.append(driver)
         return driver
 
+    def _on_idle_edge(self, idle: bool) -> None:
+        self._busy += -1 if idle else 1
+
+    def _drivers_done(self) -> bool:
+        return self._busy == 0
+
     @property
     def all_done(self) -> bool:
-        return all(driver.all_done for driver in self.drivers)
+        return self._busy == 0
 
     def run(self, max_events: int) -> bool:
         """Run the cluster until every driver drains; close the stream.
@@ -101,7 +112,7 @@ class ScenarioEngine:
         """
         completed = True
         try:
-            self.cluster.scheduler.run_until(lambda: self.all_done,
+            self.cluster.scheduler.run_until(self._drivers_done,
                                              max_events=max_events)
         except SimulationLimitReached:
             completed = False
@@ -112,7 +123,7 @@ class ScenarioEngine:
         """Like :meth:`run` but without closing the stream — the chunked
         driving loop of the soak family schedules more work afterwards."""
         try:
-            self.cluster.scheduler.run_until(lambda: self.all_done,
+            self.cluster.scheduler.run_until(self._drivers_done,
                                              max_events=max_events)
         except SimulationLimitReached:
             return False

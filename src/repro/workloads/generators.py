@@ -11,6 +11,7 @@ Written values must be unique for the checkers to map reads back to writes;
 
 from __future__ import annotations
 
+import sys
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, List, Optional, Tuple
@@ -20,14 +21,22 @@ from ..sim.scheduler import Scheduler
 
 
 class ValueStream:
-    """Unique, human-readable written values: ``w0, w1, ...``."""
+    """Unique, human-readable written values: ``w0, w1, ...``.
+
+    Values are interned: each drawn value is carried inside every Write
+    message, echoed by every server reply and compared by the checkers,
+    so sharing one string object per value turns those comparisons into
+    pointer checks and stops the substrate allocating duplicate payload
+    strings.  Interning changes neither the drawn values nor any digest
+    (pinned in ``tests/test_workloads.py``).
+    """
 
     def __init__(self, prefix: str = "w"):
         self.prefix = prefix
         self._counter = 0
 
     def next(self) -> str:
-        value = f"{self.prefix}{self._counter}"
+        value = sys.intern(f"{self.prefix}{self._counter}")
         self._counter += 1
         return value
 
@@ -46,7 +55,8 @@ class ClientDriver:
 
     def __init__(self, scheduler: Scheduler, process: Process,
                  observer: Optional[Callable[[OperationHandle], None]] = None,
-                 retain_handles: bool = True):
+                 retain_handles: bool = True,
+                 idle_observer: Optional[Callable[[bool], None]] = None):
         self.scheduler = scheduler
         self.process = process
         self.observer = observer
@@ -54,15 +64,21 @@ class ClientDriver:
         #: need no batch ``History.from_handles`` pass) — what keeps a
         #: long-horizon soak run's memory independent of its op count.
         self.retain_handles = retain_handles
+        #: called with the new idle state on every idle<->busy *edge*; lets
+        #: the engine keep an O(1) all-drivers-done predicate instead of
+        #: re-scanning every driver after every simulated event.
+        self.idle_observer = idle_observer
         self.handles: List[OperationHandle] = []
         self.scheduled = 0
         self.finished = 0
+        self._idle = True
         self._pending: Deque[Callable[[], OperationHandle]] = deque()
 
     def at(self, time: float, factory: Callable[[], OperationHandle]) -> None:
         self.scheduled += 1
         self.scheduler.schedule_at(time, self._enqueue, factory,
                                    label=f"driver:{self.process.pid}")
+        self._sync_idle()
 
     def _enqueue(self, factory: Callable[[], OperationHandle]) -> None:
         self._pending.append(factory)
@@ -84,6 +100,15 @@ class ClientDriver:
         if self.observer is not None:
             self.observer(handle)
         self._pump()
+        self._sync_idle()
+
+    def _sync_idle(self) -> None:
+        """Report idle<->busy edges (idempotent, reentrancy-safe)."""
+        idle = self.finished == self.scheduled and not self._pending
+        if idle != self._idle:
+            self._idle = idle
+            if self.idle_observer is not None:
+                self.idle_observer(idle)
 
     @property
     def all_done(self) -> bool:

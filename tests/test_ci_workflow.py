@@ -62,6 +62,27 @@ def test_perf_smoke_job_gates_and_uploads_simcore_bench(workflow):
     assert "BENCH_kv.json" in uploads[0]["with"]["path"]
 
 
+def test_perf_smoke_job_arms_absolute_throughput_floors(workflow):
+    """The kernel-rewrite floors must stay pinned in the perf-smoke job."""
+    steps = workflow["jobs"]["perf-smoke"]["steps"]
+    envs = [step.get("env", {}) for step in steps
+            if "test_bench_perf_scaling" in step.get("run", "")]
+    assert envs and envs[0].get("REPRO_PERF_GATE") == "1"
+    assert int(envs[0]["REPRO_STORM_FLOOR"]) >= 660_000
+    assert int(envs[0]["REPRO_SCENARIO_FLOOR"]) >= 230_000
+
+
+def test_perf_smoke_job_smokes_the_profiler_on_both_kernels(workflow):
+    steps = workflow["jobs"]["perf-smoke"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert "repro-profile --family" in runs
+    assert "--kernel heap" in runs
+    uploads = [step for step in steps
+               if "upload-artifact" in step.get("uses", "")]
+    assert "profile-calendar.json" in uploads[0]["with"]["path"]
+    assert "profile-heap.json" in uploads[0]["with"]["path"]
+
+
 def test_perf_smoke_job_gates_streaming_checkers(workflow):
     steps = workflow["jobs"]["perf-smoke"]["steps"]
     runs = " ".join(step.get("run", "") for step in steps)

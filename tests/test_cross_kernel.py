@@ -1,0 +1,60 @@
+"""Old-vs-new scheduler kernel determinism, end to end.
+
+The calendar-queue kernel replaced the seed's single binary heap as the
+default simulation scheduler.  The rewrite's contract is byte-identical
+execution: the same ``(time, seq)`` total order, hence the same RNG draw
+sequence, the same operation history and the same ``history_digest``.
+These tests pin that contract at the scenario level — one small cell per
+scenario family, run under both kernels, full summaries compared.
+
+(The scheduler-level equivalence — randomized schedule/cancel/drain soups
+against the heap reference — lives in tests/test_sim_scheduler.py.)
+"""
+
+import pytest
+
+import repro.sim.scheduler as scheduler_mod
+from repro.sim.scheduler import HeapScheduler, Scheduler, build_scheduler
+from repro.workloads.spec import ScenarioSpec
+
+#: one quick cell per scenario family (mirrors the capture corpus cells).
+FAMILY_CELLS = {
+    "swsr": dict(seed=3, num_writes=2, num_reads=2),
+    "mwmr": dict(m=2, seed=3, ops_per_process=1),
+    "partition": dict(seed=3, num_writes=2, num_reads=2),
+    "kv": dict(shard_count=2, num_keys=2, rounds=1, seed=3),
+    "reshard": dict(shard_count=2, num_keys=2, rounds=1, seed=3, vnodes=4),
+    "mobile-byz": dict(seed=3, rotations=1, num_writes=2, num_reads=2),
+    "soak": dict(seed=3, num_writes=6, num_reads=6),
+}
+
+
+def _run_with_kernel(monkeypatch, family, params, kernel):
+    monkeypatch.setattr(scheduler_mod, "DEFAULT_KERNEL", kernel)
+    built = build_scheduler()
+    if kernel == "heap":
+        assert type(built) is HeapScheduler
+    else:
+        assert type(built) is Scheduler
+    return ScenarioSpec(family, params).run().summarize()
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_CELLS))
+def test_kernels_produce_identical_summaries(family, monkeypatch):
+    params = FAMILY_CELLS[family]
+    calendar = _run_with_kernel(monkeypatch, family, params, "calendar")
+    heap = _run_with_kernel(monkeypatch, family, params, "heap")
+    assert calendar == heap
+    digest = getattr(calendar, "history_digest", None)
+    if digest is not None:
+        assert digest == heap.history_digest
+
+
+def test_kernels_agree_on_larger_swsr_cell(monkeypatch):
+    """A denser cell: faults + garbage stress the fused delivery path."""
+    params = dict(seed=11, n=9, t=1, num_writes=4, num_reads=4,
+                  corruption_times=(2.0,), link_garbage=2,
+                  byzantine_count=1)
+    calendar = _run_with_kernel(monkeypatch, "swsr", params, "calendar")
+    heap = _run_with_kernel(monkeypatch, "swsr", params, "heap")
+    assert calendar == heap

@@ -343,3 +343,161 @@ def test_batched_run_matches_reference_under_limits(seed, until, max_events):
     assert batched.now == reference.now
     assert batched.events_processed == reference.events_processed
     assert batched.pending_count() == reference.pending_count()
+
+
+# ----------------------------------------------------------------------
+# calendar kernel vs the single-heap reference kernel
+# ----------------------------------------------------------------------
+def _build_far_soup(sched, log, rng_seed):
+    """Randomized schedule/cancel/drain soup spanning the calendar horizon.
+
+    Unlike ``_build_soup`` (clustered near-future ticks), this soup
+    deliberately scatters events *far* beyond the default calendar span
+    (256 buckets x 0.5 = 128 time units) so entries land in the overflow
+    heap and every ``run`` crosses several calendar rebuilds.  Callbacks
+    keep scheduling both near (same-tick) and far children, and cancel
+    random pending handles, so redistribution must cope with cancelled
+    entries and late same-tick joins.
+    """
+    import random
+    rng = random.Random(rng_seed)
+    sched.bind_delivery(lambda src, dst, msg: log.append(
+        ("dlv", sched.now, src, dst, msg)))
+    cancellable = []
+
+    def spawn(tag, depth):
+        log.append(("cb", sched.now, tag, depth))
+        roll = rng.random()
+        if depth < 2:
+            if roll < 0.3:
+                sched.schedule(0.0, spawn, f"{tag}.s", depth + 1)
+            elif roll < 0.5:
+                # far child: lands in the overflow heap relative to the
+                # calendar position at spawn time
+                sched.schedule(150.0 + 75.0 * depth, spawn, f"{tag}.F",
+                               depth + 1)
+            elif roll < 0.7:
+                sched.schedule(1.5, spawn, f"{tag}.n", depth + 1)
+        if roll > 0.85 and cancellable:
+            cancellable.pop().cancel()
+
+    for index in range(60):
+        time = rng.choice([0.25, 1.0, 5.0, 127.9, 128.0, 130.0, 250.0,
+                           400.0, 1000.0, 5000.0])
+        kind = rng.random()
+        if kind < 0.4:
+            sched.schedule_delivery(time, "a", "b", f"m{index}")
+        elif kind < 0.8:
+            sched.schedule_at(time, spawn, f"e{index}", 0)
+        else:
+            cancellable.append(
+                sched.schedule_at(time, log.append,
+                                  ("plain", time, index)))
+    # pre-cancelled entries both near the head and in the far overflow
+    sched.schedule_at(0.1, log.append, ("never-near", 0.1)).cancel()
+    sched.schedule_at(999.0, log.append, ("never-far", 999.0)).cancel()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_calendar_kernel_matches_heap_kernel(seed):
+    from repro.sim.scheduler import HeapScheduler
+    calendar_log, heap_log = [], []
+    calendar, heap = Scheduler(), HeapScheduler()
+    _build_far_soup(calendar, calendar_log, seed)
+    _build_far_soup(heap, heap_log, seed)
+    calendar.run()
+    heap.run()
+    assert calendar_log == heap_log
+    assert calendar.now == heap.now
+    assert calendar.events_processed == heap.events_processed
+    assert calendar.pending_count() == heap.pending_count() == 0
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_calendar_matches_heap_under_interleaved_drains(seed):
+    """Partial drains interleaved with more scheduling, across kernels.
+
+    Exercises the calendar's realign-on-empty path (draining completely,
+    then scheduling from the new ``now``) and overflow redistribution
+    mid-run, against the heap reference.
+    """
+    from repro.sim.scheduler import HeapScheduler
+    import random
+    calendar_log, heap_log = [], []
+    schedulers = [(Scheduler(), calendar_log), (HeapScheduler(), heap_log)]
+    for sched, log in schedulers:
+        _build_far_soup(sched, log, seed)
+        rng = random.Random(1000 + seed)
+        for round_index in range(6):
+            try:
+                sched.run(max_events=rng.randrange(5, 40))
+            except SimulationLimitReached:
+                pass
+            # keep scheduling from wherever the clock stopped
+            base = sched.now
+            for extra in range(4):
+                offset = rng.choice([0.0, 0.3, 2.0, 140.0, 600.0])
+                sched.schedule_at(base + offset, log.append,
+                                  ("late", round_index, extra))
+        sched.run()
+    assert calendar_log == heap_log
+    assert schedulers[0][0].now == schedulers[1][0].now
+    assert schedulers[0][0].events_processed == \
+        schedulers[1][0].events_processed
+
+
+def test_far_future_events_use_overflow_and_still_fire_in_order():
+    sched = Scheduler()
+    fired = []
+    # beyond the 128-unit horizon: must land in the overflow heap
+    sched.schedule_at(5000.0, fired.append, "way-out")
+    sched.schedule_at(129.0, fired.append, "just-out")
+    sched.schedule_at(1.0, fired.append, "near")
+    assert len(sched._far) == 2
+    sched.run()
+    assert fired == ["near", "just-out", "way-out"]
+    assert sched.now == 5000.0
+
+
+def test_run_until_matches_across_kernels():
+    from repro.sim.scheduler import HeapScheduler
+    results = []
+    for factory in (Scheduler, HeapScheduler):
+        sched = factory()
+        log = []
+        _build_far_soup(sched, log, 3)
+        sched.run_until(lambda: sched.events_processed >= 25,
+                        max_events=1000)
+        results.append((sched.now, sched.events_processed, log))
+    assert results[0] == results[1]
+
+
+def test_build_scheduler_selects_kernel(monkeypatch):
+    import repro.sim.scheduler as scheduler_module
+    from repro.sim.scheduler import HeapScheduler, build_scheduler
+    assert type(build_scheduler("calendar")) is Scheduler
+    assert type(build_scheduler("heap")) is HeapScheduler
+    with pytest.raises(SchedulerError):
+        build_scheduler("splay")
+    monkeypatch.setattr(scheduler_module, "DEFAULT_KERNEL", "heap")
+    assert type(build_scheduler()) is HeapScheduler
+    monkeypatch.setattr(scheduler_module, "DEFAULT_KERNEL", "calendar")
+    assert type(build_scheduler()) is Scheduler
+
+
+def test_invalid_calendar_shape_rejected():
+    with pytest.raises(SchedulerError):
+        Scheduler(bucket_width=0.0)
+    with pytest.raises(SchedulerError):
+        Scheduler(bucket_count=1)
+
+
+def test_narrow_calendar_rebuilds_repeatedly():
+    """A tiny calendar (4 buckets) forces a rebuild every few events."""
+    sched = Scheduler(bucket_width=0.5, bucket_count=4)
+    fired = []
+    for index in range(50):
+        sched.schedule_at(index * 1.7, fired.append, index)
+    sched.run()
+    assert fired == list(range(50))
+    assert sched.now == 49 * 1.7

